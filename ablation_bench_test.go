@@ -1,0 +1,110 @@
+package splicer
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// benchmark reports the metric under study through testing.B metrics
+// (b.ReportMetric), so `go test -bench=Ablation` doubles as an ablation
+// table generator.
+//
+//   - imbalance prices (η) on/off  → deadlock handling (TSR on circulation)
+//   - capacity prices (κ) on/off   → congestion shaping
+//   - TU splitting (Max-TU)        → multi-path utilization
+//   - hub capital boost            → multi-star viability
+
+import (
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// circulationFixture builds the deadlock-prone tight-channel scenario.
+func circulationFixture(b *testing.B) (*Graph, []Tx) {
+	b.Helper()
+	src := rng.New(77)
+	sizes := workload.NewChannelSizeDist(src.Split(1), 0.2)
+	g, err := topology.WattsStrogatz(src.Split(2), 50, 4, 0.2, sizes.CapacityFunc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients := make([]NodeID, 50)
+	for i := range clients {
+		clients[i] = NodeID(i)
+	}
+	trace, err := workload.Generate(src.Split(3), workload.Config{
+		Clients: clients, Rate: 60, Duration: 6, Timeout: 3,
+		ZipfSkew: 0.5, ValueScale: 1.5, CirculationFraction: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, trace
+}
+
+func runAblation(b *testing.B, mutate func(*pcn.Config)) float64 {
+	b.Helper()
+	g, trace := circulationFixture(b)
+	cfg := pcn.NewConfig(pcn.SchemeSplicer)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := pcn.NewNetwork(g.Clone(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := n.Run(trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.TSR
+}
+
+func BenchmarkAblationFullSplicer(b *testing.B) {
+	var tsr float64
+	for i := 0; i < b.N; i++ {
+		tsr = runAblation(b, nil)
+	}
+	b.ReportMetric(tsr, "TSR")
+}
+
+func BenchmarkAblationNoImbalancePrices(b *testing.B) {
+	var tsr float64
+	for i := 0; i < b.N; i++ {
+		tsr = runAblation(b, func(c *pcn.Config) { c.Eta = 0 })
+	}
+	b.ReportMetric(tsr, "TSR")
+}
+
+func BenchmarkAblationNoCapacityPrices(b *testing.B) {
+	var tsr float64
+	for i := 0; i < b.N; i++ {
+		tsr = runAblation(b, func(c *pcn.Config) { c.Kappa = 0 })
+	}
+	b.ReportMetric(tsr, "TSR")
+}
+
+func BenchmarkAblationNoTUSplitting(b *testing.B) {
+	var tsr float64
+	for i := 0; i < b.N; i++ {
+		// Max-TU so large every payment is one unit: multi-path splitting off.
+		tsr = runAblation(b, func(c *pcn.Config) { c.MaxTU = 1e9 })
+	}
+	b.ReportMetric(tsr, "TSR")
+}
+
+func BenchmarkAblationNoHubCapital(b *testing.B) {
+	var tsr float64
+	for i := 0; i < b.N; i++ {
+		tsr = runAblation(b, func(c *pcn.Config) { c.HubCapitalBoost = 1 })
+	}
+	b.ReportMetric(tsr, "TSR")
+}
+
+func BenchmarkAblationSingleHub(b *testing.B) {
+	var tsr float64
+	for i := 0; i < b.N; i++ {
+		tsr = runAblation(b, func(c *pcn.Config) { c.PlacementOmega = 100 })
+	}
+	b.ReportMetric(tsr, "TSR")
+}

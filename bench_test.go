@@ -1,0 +1,310 @@
+package splicer
+
+// One benchmark per table and figure of the paper's evaluation (§V). Each
+// benchmark regenerates its figure/table through the same runner that
+// cmd/experiments uses; grids are trimmed so a single iteration stays in
+// benchmark budget while preserving the comparison structure. Run the full
+// paper-size sweeps with:  go run ./cmd/experiments -run all
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/experiments"
+	"github.com/splicer-pcn/splicer/internal/routing"
+)
+
+// benchSmall trims the small-scale scenario for per-iteration budgets.
+func benchSmall() experiments.Scenario {
+	s := experiments.SmallScale()
+	s.Duration = 4
+	s.Rate = 80
+	return s
+}
+
+// benchLarge keeps the large node count (the point of Fig. 8) with a short
+// trace.
+func benchLarge() experiments.Scenario {
+	s := experiments.LargeScale()
+	s.Duration = 2
+	s.Rate = 150
+	return s
+}
+
+func withGrid(b *testing.B, grid *[]float64, vals []float64) {
+	b.Helper()
+	old := *grid
+	*grid = vals
+	b.Cleanup(func() { *grid = old })
+}
+
+func benchSeries(b *testing.B, f func(experiments.Scenario) ([]experiments.Series, error), s experiments.Scenario) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		series, err := f(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+func BenchmarkFig7aChannelSizeSmall(b *testing.B) {
+	withGrid(b, &experiments.ChannelScaleSweep, []float64{0.5, 2})
+	benchSeries(b, experiments.FigChannelSize, benchSmall())
+}
+
+func BenchmarkFig7bTxnSizeSmall(b *testing.B) {
+	withGrid(b, &experiments.ValueScaleSweep, []float64{1, 4})
+	benchSeries(b, experiments.FigTxnSize, benchSmall())
+}
+
+func BenchmarkFig7cUpdateTimeSmall(b *testing.B) {
+	withGrid(b, &experiments.TauSweepMs, []float64{200, 800})
+	benchSeries(b, experiments.FigUpdateTime, benchSmall())
+}
+
+func BenchmarkFig7dThroughputSmall(b *testing.B) {
+	withGrid(b, &experiments.TauSweepMs, []float64{200, 800})
+	benchSeries(b, experiments.FigThroughput, benchSmall())
+}
+
+func BenchmarkFig8aChannelSizeLarge(b *testing.B) {
+	withGrid(b, &experiments.ChannelScaleSweep, []float64{1})
+	benchSeries(b, experiments.FigChannelSize, benchLarge())
+}
+
+func BenchmarkFig8bTxnSizeLarge(b *testing.B) {
+	withGrid(b, &experiments.ValueScaleSweep, []float64{2})
+	benchSeries(b, experiments.FigTxnSize, benchLarge())
+}
+
+func BenchmarkFig8cUpdateTimeLarge(b *testing.B) {
+	withGrid(b, &experiments.TauSweepMs, []float64{400})
+	benchSeries(b, experiments.FigUpdateTime, benchLarge())
+}
+
+func BenchmarkFig8dThroughputLarge(b *testing.B) {
+	withGrid(b, &experiments.TauSweepMs, []float64{400})
+	benchSeries(b, experiments.FigThroughput, benchLarge())
+}
+
+func BenchmarkFig9aBalanceCost(b *testing.B) {
+	withGrid(b, &experiments.OmegaSweep, []float64{0.05, 0.5})
+	benchSeries(b, experiments.FigBalanceCost, benchSmall())
+}
+
+func BenchmarkFig9bTradeoff(b *testing.B) {
+	withGrid(b, &experiments.OmegaSweep, []float64{0.05, 0.5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.FigCostTradeoff(benchSmall())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig9cHubCountSmall(b *testing.B) {
+	withGrid(b, &experiments.OmegaSweep, []float64{0.05, 0.5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.FigHubCount(benchSmall())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig9dHubCountLarge(b *testing.B) {
+	withGrid(b, &experiments.OmegaSweep, []float64{0.05})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.FigHubCount(benchLarge())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig9eDelayOverheadSmall(b *testing.B) {
+	withGrid(b, &experiments.OmegaSweep, []float64{0.05, 0.5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.FigDelayOverhead(benchSmall())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig9fDelayOverheadLarge(b *testing.B) {
+	withGrid(b, &experiments.OmegaSweep, []float64{0.05})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.FigDelayOverhead(benchLarge())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkTableIMatrix(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableI()
+		if len(t.Rows) != 6 {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+func BenchmarkTableIIPathType(b *testing.B) {
+	s := benchSmall()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableII(s, s, experiments.TableIIOptions{
+			PathTypes:   []routing.PathType{routing.EDW, routing.EDS},
+			PathNumbers: []int{5},
+			Schedulers:  []string{"LIFO"},
+			SkipLarge:   true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows: %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTableIIPathNumber(b *testing.B) {
+	s := benchSmall()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableII(s, s, experiments.TableIIOptions{
+			PathTypes:   []routing.PathType{routing.EDW},
+			PathNumbers: []int{1, 5},
+			Schedulers:  []string{"LIFO"},
+			SkipLarge:   true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows: %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTableIIScheduler(b *testing.B) {
+	s := benchSmall()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableII(s, s, experiments.TableIIOptions{
+			PathTypes:   []routing.PathType{routing.EDW},
+			PathNumbers: []int{5},
+			Schedulers:  []string{"LIFO", "FIFO"},
+			SkipLarge:   true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows: %d", len(rows))
+		}
+	}
+}
+
+// Micro-benchmarks of the core machinery (placement solvers and one
+// simulation step) for the ablation story in DESIGN.md.
+
+func BenchmarkPlacementExact10(b *testing.B) {
+	g, err := BuildNetwork(NetworkSpec{Seed: 1, Nodes: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := TopDegreeNodes(g, 10)
+	candSet := map[NodeID]bool{}
+	for _, c := range cands {
+		candSet[c] = true
+	}
+	var clients []NodeID
+	for i := 0; i < g.NumNodes(); i++ {
+		if !candSet[NodeID(i)] {
+			clients = append(clients, NodeID(i))
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlaceHubs(g, clients, cands, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlacementApprox24(b *testing.B) {
+	g, err := BuildNetwork(NetworkSpec{Seed: 2, Nodes: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := TopDegreeNodes(g, 24)
+	candSet := map[NodeID]bool{}
+	for _, c := range cands {
+		candSet[c] = true
+	}
+	var clients []NodeID
+	for i := 0; i < g.NumNodes(); i++ {
+		if !candSet[NodeID(i)] {
+			clients = append(clients, NodeID(i))
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlaceHubs(g, clients, cands, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulationSplicer100(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := BuildNetwork(NetworkSpec{Seed: 3, Nodes: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace, err := GenerateWorkload(g, WorkloadSpec{Seed: 4, Rate: 100, Duration: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := NewSimulation(g, Splicer)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

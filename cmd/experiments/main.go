@@ -1,0 +1,162 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// figure becomes a CSV under -out (default results/) plus a markdown table
+// on stdout.
+//
+//	experiments -run all            # everything (the large-scale runs take minutes)
+//	experiments -run fig7a,fig9b    # selected experiments
+//	experiments -run small          # all small-scale panels
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/splicer-pcn/splicer/internal/experiments"
+)
+
+type runner func() (experiments.Table, error)
+
+func main() {
+	var (
+		runArg = flag.String("run", "", "comma-separated experiment ids, or 'all', 'small', 'large'")
+		outDir = flag.String("out", "results", "output directory for CSV files")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	small := experiments.SmallScale()
+	large := experiments.LargeScale()
+
+	seriesTable := func(title, x string, f func(experiments.Scenario) ([]experiments.Series, error), scen experiments.Scenario) runner {
+		return func() (experiments.Table, error) {
+			s, err := f(scen)
+			if err != nil {
+				return experiments.Table{}, err
+			}
+			return experiments.SeriesTable(title, x, s), nil
+		}
+	}
+
+	runners := map[string]runner{
+		"fig7a": seriesTable("Fig 7(a): TSR vs channel size (small)", "channel_scale", experiments.FigChannelSize, small),
+		"fig7b": seriesTable("Fig 7(b): TSR vs transaction size (small)", "value_scale", experiments.FigTxnSize, small),
+		"fig7c": seriesTable("Fig 7(c): TSR vs update time (small)", "tau_ms", experiments.FigUpdateTime, small),
+		"fig7d": seriesTable("Fig 7(d): normalized throughput vs update time (small)", "tau_ms", experiments.FigThroughput, small),
+		"fig8a": seriesTable("Fig 8(a): TSR vs channel size (large)", "channel_scale", experiments.FigChannelSize, large),
+		"fig8b": seriesTable("Fig 8(b): TSR vs transaction size (large)", "value_scale", experiments.FigTxnSize, large),
+		"fig8c": seriesTable("Fig 8(c): TSR vs update time (large)", "tau_ms", experiments.FigUpdateTime, large),
+		"fig8d": seriesTable("Fig 8(d): normalized throughput vs update time (large)", "tau_ms", experiments.FigThroughput, large),
+		"fig9a": seriesTable("Fig 9(a): balance cost vs omega (small)", "omega", experiments.FigBalanceCost, small),
+		"fig9b": func() (experiments.Table, error) {
+			pts, err := experiments.FigCostTradeoff(small)
+			if err != nil {
+				return experiments.Table{}, err
+			}
+			return experiments.TradeoffTable("Fig 9(b): cost tradeoff (small)", pts), nil
+		},
+		"fig9c": func() (experiments.Table, error) {
+			s, err := experiments.FigHubCount(small)
+			if err != nil {
+				return experiments.Table{}, err
+			}
+			return experiments.SeriesTable("Fig 9(c): smooth nodes vs omega (small)", "omega", []experiments.Series{s}), nil
+		},
+		"fig9d": func() (experiments.Table, error) {
+			s, err := experiments.FigHubCount(large)
+			if err != nil {
+				return experiments.Table{}, err
+			}
+			return experiments.SeriesTable("Fig 9(d): smooth nodes vs omega (large)", "omega", []experiments.Series{s}), nil
+		},
+		"fig9e": func() (experiments.Table, error) {
+			pts, err := experiments.FigDelayOverhead(small)
+			if err != nil {
+				return experiments.Table{}, err
+			}
+			return experiments.DelayOverheadTable("Fig 9(e): delay vs overhead (small)", pts), nil
+		},
+		"fig9f": func() (experiments.Table, error) {
+			pts, err := experiments.FigDelayOverhead(large)
+			if err != nil {
+				return experiments.Table{}, err
+			}
+			return experiments.DelayOverheadTable("Fig 9(f): delay vs overhead (large)", pts), nil
+		},
+		"table1": func() (experiments.Table, error) { return experiments.TableI(), nil },
+		"table2": func() (experiments.Table, error) {
+			rows, err := experiments.TableII(small, large, experiments.TableIIOptions{})
+			if err != nil {
+				return experiments.Table{}, err
+			}
+			return experiments.TableIITable(rows), nil
+		},
+	}
+
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list || *runArg == "" {
+		fmt.Println("available experiments:")
+		for _, id := range ids {
+			fmt.Println(" ", id)
+		}
+		if *runArg == "" {
+			fmt.Println("\nuse -run all | small | large | <id,id,...>")
+		}
+		return
+	}
+
+	var selected []string
+	switch *runArg {
+	case "all":
+		selected = ids
+	case "small":
+		for _, id := range ids {
+			if strings.HasPrefix(id, "fig7") || id == "fig9a" || id == "fig9b" || id == "fig9c" || id == "fig9e" || id == "table1" {
+				selected = append(selected, id)
+			}
+		}
+	case "large":
+		for _, id := range ids {
+			if strings.HasPrefix(id, "fig8") || id == "fig9d" || id == "fig9f" {
+				selected = append(selected, id)
+			}
+		}
+	default:
+		for _, id := range strings.Split(*runArg, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for _, id := range selected {
+		fmt.Fprintf(os.Stderr, "== running %s...\n", id)
+		table, err := runners[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, id+".csv")
+		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Markdown())
+	}
+}

@@ -1,0 +1,106 @@
+// Command splicer runs one PCN simulation and prints the evaluation
+// metrics. It is the quickest way to compare routing schemes on a synthetic
+// Lightning-like network:
+//
+//	splicer -scheme Splicer -nodes 100 -rate 120 -duration 8
+//	splicer -scheme Spider  -nodes 3000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	splicer "github.com/splicer-pcn/splicer"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "Splicer", "routing scheme: Splicer, Spider, Flash, Landmark, A2L, ShortestPath")
+		nodes      = flag.Int("nodes", 100, "network size")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		rate       = flag.Float64("rate", 120, "transaction arrival rate (tx/s)")
+		duration   = flag.Float64("duration", 8, "trace duration (s)")
+		chanScale  = flag.Float64("channel-scale", 1, "channel size multiplier")
+		valScale   = flag.Float64("value-scale", 1, "transaction value multiplier")
+		numPaths   = flag.Int("paths", 5, "number of multi-paths k")
+		pathType   = flag.String("path-type", "EDW", "path type: KSP, Heuristic, EDW, EDS")
+		scheduler  = flag.String("scheduler", "LIFO", "queue scheduler: FIFO, LIFO, SPF, EDF")
+		tau        = flag.Duration("tau", 200*time.Millisecond, "price/probe update interval")
+		omega      = flag.Float64("omega", 0.05, "placement cost tradeoff weight")
+		candidates = flag.Int("candidates", 10, "hub candidate list size")
+	)
+	flag.Parse()
+
+	if err := run(*schemeName, *nodes, *seed, *rate, *duration, *chanScale, *valScale,
+		*numPaths, *pathType, *scheduler, *tau, *omega, *candidates); err != nil {
+		fmt.Fprintln(os.Stderr, "splicer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemeName string, nodes int, seed uint64, rate, duration, chanScale, valScale float64,
+	numPaths int, pathType, scheduler string, tau time.Duration, omega float64, candidates int) error {
+	var scheme splicer.Scheme
+	switch schemeName {
+	case "Splicer":
+		scheme = splicer.Splicer
+	case "Spider":
+		scheme = splicer.Spider
+	case "Flash":
+		scheme = splicer.Flash
+	case "Landmark":
+		scheme = splicer.Landmark
+	case "A2L":
+		scheme = splicer.A2L
+	case "ShortestPath":
+		scheme = splicer.ShortestPath
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+
+	g, err := splicer.BuildNetwork(splicer.NetworkSpec{
+		Seed: seed, Nodes: nodes, ChannelScale: chanScale,
+	})
+	if err != nil {
+		return err
+	}
+	trace, err := splicer.GenerateWorkload(g, splicer.WorkloadSpec{
+		Seed: seed + 1, Rate: rate, Duration: duration, ValueScale: valScale,
+	})
+	if err != nil {
+		return err
+	}
+	sim, err := splicer.NewSimulation(g, scheme,
+		splicer.WithPaths(numPaths),
+		splicer.WithPathType(pathType),
+		splicer.WithScheduler(scheduler),
+		splicer.WithUpdateInterval(tau),
+		splicer.WithPlacementOmega(omega),
+		splicer.WithHubCandidates(candidates),
+	)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := sim.Run(trace)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("scheme:                %s\n", schemeName)
+	fmt.Printf("network:               %d nodes, %d channels\n", g.NumNodes(), g.NumEdges())
+	if hubs := sim.Hubs(); len(hubs) > 0 {
+		fmt.Printf("hubs:                  %v\n", hubs)
+	}
+	fmt.Printf("transactions:          %d generated, %d completed\n", res.Generated, res.Completed)
+	fmt.Printf("success ratio (TSR):   %.2f%%\n", 100*res.TSR)
+	fmt.Printf("normalized throughput: %.2f%%\n", 100*res.NormalizedThroughput)
+	fmt.Printf("mean delay:            %.1f ms\n", 1000*res.MeanDelay)
+	fmt.Printf("mean channel imbalance:%.4f\n", res.MeanImbalance)
+	fmt.Printf("drained channels:      %d\n", res.DeadlockedChannels)
+	fmt.Printf("wall time:             %v\n", elapsed.Round(time.Millisecond))
+	return nil
+}

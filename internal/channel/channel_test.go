@@ -1,0 +1,362 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/splicer-pcn/splicer/internal/rng"
+)
+
+func newChan(t *testing.T, fwd, rev float64) *Channel {
+	t.Helper()
+	c, err := New(0, 1, 2, fwd, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 2, -1, 5); err == nil {
+		t.Fatal("negative balance accepted")
+	}
+}
+
+func TestDirFrom(t *testing.T) {
+	c := newChan(t, 10, 10)
+	if c.DirFrom(1) != Fwd || c.DirFrom(2) != Rev {
+		t.Fatal("DirFrom wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-endpoint")
+		}
+	}()
+	c.DirFrom(9)
+}
+
+func TestLockSettleMovesFunds(t *testing.T) {
+	c := newChan(t, 10, 5)
+	if err := c.Lock(Fwd, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Balance(Fwd) != 6 || c.Locked(Fwd) != 4 {
+		t.Fatalf("after lock: bal=%v locked=%v", c.Balance(Fwd), c.Locked(Fwd))
+	}
+	if err := c.Settle(Fwd, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Balance(Fwd) != 6 || c.Balance(Rev) != 9 || c.Locked(Fwd) != 0 {
+		t.Fatalf("after settle: fwd=%v rev=%v", c.Balance(Fwd), c.Balance(Rev))
+	}
+	// Total funds conserved.
+	if math.Abs(c.Capacity()-15) > 1e-9 {
+		t.Fatalf("capacity = %v", c.Capacity())
+	}
+}
+
+func TestLockRefundRestores(t *testing.T) {
+	c := newChan(t, 10, 5)
+	if err := c.Lock(Fwd, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Refund(Fwd, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Balance(Fwd) != 10 || c.Locked(Fwd) != 0 || c.Balance(Rev) != 5 {
+		t.Fatal("refund did not restore state")
+	}
+}
+
+func TestLockInsufficient(t *testing.T) {
+	c := newChan(t, 3, 3)
+	if err := c.Lock(Fwd, 5); err == nil {
+		t.Fatal("overdraft lock accepted")
+	}
+	if err := c.Lock(Fwd, 0); err == nil {
+		t.Fatal("zero lock accepted")
+	}
+}
+
+func TestSettleRefundValidation(t *testing.T) {
+	c := newChan(t, 10, 10)
+	if err := c.Settle(Fwd, 1); err == nil {
+		t.Fatal("settle without lock accepted")
+	}
+	if err := c.Refund(Fwd, 1); err == nil {
+		t.Fatal("refund without lock accepted")
+	}
+}
+
+func TestProcessRateLimit(t *testing.T) {
+	c := newChan(t, 100, 100)
+	c.ProcessRate = 10
+	if !c.CanForward(Fwd, 8) {
+		t.Fatal("should forward under rate")
+	}
+	if err := c.Lock(Fwd, 8); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanForward(Fwd, 5) {
+		t.Fatal("rate limit not enforced")
+	}
+	// The reverse direction has its own budget.
+	if !c.CanForward(Rev, 5) {
+		t.Fatal("rate limit leaked across directions")
+	}
+	// Window reset restores the budget.
+	c.UpdatePrices(0, 0)
+	if !c.CanForward(Fwd, 5) {
+		t.Fatal("rate budget not reset")
+	}
+}
+
+func TestPriceDynamics(t *testing.T) {
+	c := newChan(t, 50, 50)
+	// Demand far above capacity raises λ.
+	c.AddRequired(Fwd, 120)
+	c.AddRequired(Rev, 30)
+	c.UpdatePrices(0.01, 0.01)
+	if c.Lambda() <= 0 {
+		t.Fatal("lambda did not rise under excess demand")
+	}
+	// One-sided arrivals raise μ for that direction and keep the other at 0.
+	if err := c.Lock(Fwd, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(Fwd, 20); err != nil {
+		t.Fatal(err)
+	}
+	c.UpdatePrices(0.01, 0.01)
+	if c.Mu(Fwd) <= 0 {
+		t.Fatalf("mu fwd = %v, want > 0", c.Mu(Fwd))
+	}
+	if c.Mu(Rev) != 0 {
+		t.Fatalf("mu rev = %v, want 0", c.Mu(Rev))
+	}
+	// Price in the hot direction must exceed the cold direction (eq. 23).
+	if c.Price(Fwd) <= c.Price(Rev) {
+		t.Fatalf("price fwd %v <= rev %v", c.Price(Fwd), c.Price(Rev))
+	}
+}
+
+func TestLambdaDecaysWhenUnderused(t *testing.T) {
+	c := newChan(t, 50, 50)
+	c.AddRequired(Fwd, 500)
+	c.UpdatePrices(0.01, 0)
+	high := c.Lambda()
+	// No demand now: λ decreases (and never below 0).
+	c.UpdatePrices(0.01, 0)
+	if c.Lambda() >= high {
+		t.Fatal("lambda did not decay")
+	}
+	for i := 0; i < 100; i++ {
+		c.UpdatePrices(0.01, 0)
+	}
+	if c.Lambda() < 0 {
+		t.Fatal("lambda went negative")
+	}
+}
+
+func TestFee(t *testing.T) {
+	c := newChan(t, 10, 10)
+	c.AddRequired(Fwd, 100)
+	c.UpdatePrices(0.05, 0)
+	if c.Fee(Fwd, 0.1) <= 0 {
+		t.Fatal("fee should be positive when price is")
+	}
+	if math.Abs(c.Fee(Fwd, 0.1)-0.1*c.Price(Fwd)) > 1e-12 {
+		t.Fatal("fee != T_fee * price")
+	}
+}
+
+func TestQueueBasics(t *testing.T) {
+	c := newChan(t, 10, 10)
+	c.QueueLimit = 10
+	mk := func(id uint64, v float64) *QueuedTU {
+		return &QueuedTU{ID: id, Value: v, Deadline: 100, Enqueued: 0}
+	}
+	if err := c.Enqueue(Fwd, mk(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(Fwd, mk(2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(Fwd, mk(3, 4)); err == nil {
+		t.Fatal("queue limit not enforced")
+	}
+	if c.QueueLen(Fwd) != 2 || c.QueueValue(Fwd) != 8 {
+		t.Fatalf("len=%d val=%v", c.QueueLen(Fwd), c.QueueValue(Fwd))
+	}
+	if c.QueueLen(Rev) != 0 {
+		t.Fatal("queue leaked across directions")
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	c := newChan(t, 10, 10)
+	if err := c.Enqueue(Fwd, nil); err == nil {
+		t.Fatal("nil TU accepted")
+	}
+	if err := c.Enqueue(Fwd, &QueuedTU{Value: 0}); err == nil {
+		t.Fatal("zero-value TU accepted")
+	}
+}
+
+func TestSchedulers(t *testing.T) {
+	q := []*QueuedTU{
+		{ID: 1, Value: 5, Deadline: 30, Enqueued: 0},
+		{ID: 2, Value: 1, Deadline: 10, Enqueued: 1},
+		{ID: 3, Value: 3, Deadline: 20, Enqueued: 2},
+	}
+	cases := []struct {
+		s    Scheduler
+		want uint64
+	}{
+		{FIFO{}, 1},
+		{LIFO{}, 3},
+		{SPF{}, 2},
+		{EDF{}, 2},
+	}
+	for _, c := range cases {
+		if got := q[c.s.Next(q)].ID; got != c.want {
+			t.Fatalf("%s picked %d, want %d", c.s.Name(), got, c.want)
+		}
+	}
+}
+
+func TestSchedulerByName(t *testing.T) {
+	for _, name := range []string{"FIFO", "LIFO", "SPF", "EDF"} {
+		s, err := SchedulerByName(name)
+		if err != nil || s.Name() != name {
+			t.Fatalf("SchedulerByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := SchedulerByName("BOGUS"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestDequeueWithScheduler(t *testing.T) {
+	c := newChan(t, 10, 10)
+	for i := uint64(1); i <= 3; i++ {
+		if err := c.Enqueue(Fwd, &QueuedTU{ID: i, Value: float64(i), Deadline: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tu := c.Dequeue(Fwd, LIFO{})
+	if tu.ID != 3 {
+		t.Fatalf("LIFO dequeued %d", tu.ID)
+	}
+	if c.QueueLen(Fwd) != 2 {
+		t.Fatalf("queue len = %d", c.QueueLen(Fwd))
+	}
+	if c.Dequeue(Rev, FIFO{}) != nil {
+		t.Fatal("dequeue on empty queue returned TU")
+	}
+}
+
+func TestMarkStale(t *testing.T) {
+	c := newChan(t, 10, 10)
+	tu1 := &QueuedTU{ID: 1, Value: 1, Deadline: 100, Enqueued: 0}
+	tu2 := &QueuedTU{ID: 2, Value: 1, Deadline: 100, Enqueued: 5}
+	if err := c.Enqueue(Fwd, tu1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(Fwd, tu2); err != nil {
+		t.Fatal(err)
+	}
+	marked := c.MarkStale(Fwd, 5.5, 0.4) // tu1 waited 5.5 > 0.4, tu2 only 0.5 > 0.4 too
+	if len(marked) != 2 {
+		t.Fatalf("marked %d", len(marked))
+	}
+	// Second call returns nothing (already marked).
+	if len(c.MarkStale(Fwd, 6, 0.4)) != 0 {
+		t.Fatal("re-marked TUs")
+	}
+}
+
+func TestRemoveQueued(t *testing.T) {
+	c := newChan(t, 10, 10)
+	tu := &QueuedTU{ID: 1, Value: 1, Deadline: 100}
+	if err := c.Enqueue(Fwd, tu); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RemoveQueued(Fwd, tu) {
+		t.Fatal("RemoveQueued failed")
+	}
+	if c.RemoveQueued(Fwd, tu) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	c := newChan(t, 10, 10)
+	if c.Imbalance() != 0 {
+		t.Fatalf("balanced channel imbalance = %v", c.Imbalance())
+	}
+	if err := c.Lock(Fwd, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(Fwd, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Now fwd=0, rev=20 → imbalance 1.
+	if math.Abs(c.Imbalance()-1) > 1e-9 {
+		t.Fatalf("imbalance = %v, want 1", c.Imbalance())
+	}
+}
+
+func TestPropertyConservation(t *testing.T) {
+	// Random lock/settle/refund sequences conserve total channel funds and
+	// never drive balances negative.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		c, err := New(0, 1, 2, 100, 100)
+		if err != nil {
+			return false
+		}
+		type pending struct {
+			d Direction
+			v float64
+		}
+		var locks []pending
+		for step := 0; step < 200; step++ {
+			switch src.IntN(3) {
+			case 0:
+				d := Direction(src.IntN(2))
+				v := src.Float64()*30 + 0.1
+				if c.Lock(d, v) == nil {
+					locks = append(locks, pending{d, v})
+				}
+			case 1:
+				if len(locks) > 0 {
+					i := src.IntN(len(locks))
+					if err := c.Settle(locks[i].d, locks[i].v); err != nil {
+						return false
+					}
+					locks = append(locks[:i], locks[i+1:]...)
+				}
+			case 2:
+				if len(locks) > 0 {
+					i := src.IntN(len(locks))
+					if err := c.Refund(locks[i].d, locks[i].v); err != nil {
+						return false
+					}
+					locks = append(locks[:i], locks[i+1:]...)
+				}
+			}
+			if c.Balance(Fwd) < -1e-9 || c.Balance(Rev) < -1e-9 {
+				return false
+			}
+			if math.Abs(c.Capacity()-200) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package contract
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/ledger"
+	"github.com/splicer-pcn/splicer/internal/placement"
+	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/voting"
+)
+
+// pipelineFixture builds a graph, ledger with funded hub accounts, and a
+// runtime advanced through election and placement.
+type pipelineFixture struct {
+	g        *graph.Graph
+	l        *ledger.Ledger
+	rt       *Runtime
+	accounts map[graph.NodeID]ledger.AccountID
+	inst     *placement.Instance
+}
+
+func newFixture(t *testing.T) *pipelineFixture {
+	t.Helper()
+	g, err := topology.WattsStrogatz(rng.New(7), 40, 4, 0.3, topology.UniformCapacity(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ledger.New()
+	cands := voting.CandidatesFromGraph(g, 8)
+	accounts := map[graph.NodeID]ledger.AccountID{}
+	for _, c := range cands {
+		acct := ledger.AccountID(fmt.Sprintf("node-%d", c.Node))
+		accounts[c.Node] = acct
+		if err := l.Mint(acct, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt := NewRuntime(l)
+	if err := rt.RunElection(cands, nil, voting.Config{Winners: 6, DiversityWeight: 1, Hops: g.AllPairsHops()}); err != nil {
+		t.Fatal(err)
+	}
+	candNodes := make([]graph.NodeID, 0, len(rt.Candidates()))
+	candSet := map[graph.NodeID]bool{}
+	for _, c := range rt.Candidates() {
+		candNodes = append(candNodes, c.Node)
+		candSet[c.Node] = true
+	}
+	var clients []graph.NodeID
+	for i := 0; i < g.NumNodes(); i++ {
+		if !candSet[graph.NodeID(i)] {
+			clients = append(clients, graph.NodeID(i))
+		}
+	}
+	inst, err := placement.NewInstanceFromGraph(g, clients, candNodes, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &pipelineFixture{g: g, l: l, rt: rt, accounts: accounts, inst: inst}
+}
+
+func TestPipelinePhases(t *testing.T) {
+	f := newFixture(t)
+	if f.rt.Phase() != PhaseCandidates {
+		t.Fatalf("phase after election = %v", f.rt.Phase())
+	}
+	if err := f.rt.RunPlacement(f.inst, f.accounts); err != nil {
+		t.Fatal(err)
+	}
+	if f.rt.Phase() != PhaseActualPCHs {
+		t.Fatalf("phase after placement = %v", f.rt.Phase())
+	}
+	hubs := f.rt.Hubs()
+	if len(hubs) == 0 {
+		t.Fatal("no hubs selected")
+	}
+	// Every hub pledged the deposit.
+	for _, h := range hubs {
+		if f.l.Deposit(f.accounts[h]) != f.rt.RequiredDeposit {
+			t.Fatalf("hub %d deposit = %v", h, f.l.Deposit(f.accounts[h]))
+		}
+	}
+}
+
+func TestPhaseOrderEnforced(t *testing.T) {
+	f := newFixture(t)
+	// Election again in candidate phase fails.
+	if err := f.rt.RunElection(nil, nil, voting.Config{Winners: 1}); err == nil {
+		t.Fatal("second election accepted")
+	}
+	// Report before placement fails.
+	if _, err := f.rt.Report(f.rt.Candidates()[0].Node, f.accounts, 10); err == nil {
+		t.Fatal("report accepted before placement")
+	}
+}
+
+func TestReportQuorumSlashes(t *testing.T) {
+	f := newFixture(t)
+	if err := f.rt.RunPlacement(f.inst, f.accounts); err != nil {
+		t.Fatal(err)
+	}
+	hub := f.rt.Hubs()[0]
+	const entities = 10 // quorum = ceil(6.7) reports
+	removed := false
+	for i := 0; i < 7; i++ {
+		var err error
+		removed, err = f.rt.Report(hub, f.accounts, entities)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !removed {
+		t.Fatal("hub not removed after quorum of reports")
+	}
+	if f.l.Deposit(f.accounts[hub]) != 0 {
+		t.Fatal("deposit not slashed")
+	}
+	if f.l.ConfiscatedPool() != f.rt.RequiredDeposit {
+		t.Fatalf("pool = %v", f.l.ConfiscatedPool())
+	}
+	for _, h := range f.rt.Hubs() {
+		if h == hub {
+			t.Fatal("removed hub still serving")
+		}
+	}
+	// Reporting the removed hub again errors.
+	if _, err := f.rt.Report(hub, f.accounts, entities); err == nil {
+		t.Fatal("report against removed hub accepted")
+	}
+}
+
+func TestReportUnknownHub(t *testing.T) {
+	f := newFixture(t)
+	if err := f.rt.RunPlacement(f.inst, f.accounts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.rt.Report(graph.NodeID(9999), f.accounts, 10); err == nil {
+		t.Fatal("report against non-hub accepted")
+	}
+}
+
+func TestReplaceHub(t *testing.T) {
+	f := newFixture(t)
+	if err := f.rt.RunPlacement(f.inst, f.accounts); err != nil {
+		t.Fatal(err)
+	}
+	before := len(f.rt.Hubs())
+	hub := f.rt.Hubs()[0]
+	for i := 0; i < 7; i++ {
+		if _, err := f.rt.Report(hub, f.accounts, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f.rt.Hubs()) != before-1 {
+		t.Fatal("hub not removed")
+	}
+	replacement, err := f.rt.ReplaceHub(f.accounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replacement == hub {
+		t.Fatal("slashed hub re-admitted")
+	}
+	if len(f.rt.Hubs()) != before {
+		t.Fatalf("hub count %d after replacement, want %d", len(f.rt.Hubs()), before)
+	}
+	if f.l.Deposit(f.accounts[replacement]) != f.rt.RequiredDeposit {
+		t.Fatal("replacement did not pledge")
+	}
+}
+
+func TestSupplyConservedThroughPipeline(t *testing.T) {
+	f := newFixture(t)
+	start := f.l.TotalSupply()
+	if err := f.rt.RunPlacement(f.inst, f.accounts); err != nil {
+		t.Fatal(err)
+	}
+	hub := f.rt.Hubs()[0]
+	for i := 0; i < 7; i++ {
+		if _, err := f.rt.Report(hub, f.accounts, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.rt.ReplaceHub(f.accounts); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.l.TotalSupply(); got != start {
+		t.Fatalf("supply %v != %v", got, start)
+	}
+}

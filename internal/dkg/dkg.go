@@ -1,0 +1,196 @@
+// Package dkg implements the key management group (KMG) of Splicer §III-A:
+// a committee of ι smooth nodes jointly generates ElGamal key pairs via a
+// Feldman-VSS-based distributed key generation (the paper cites Gennaro et
+// al. [14]), and decrypts ciphertexts via threshold partial decryptions so
+// the secret key never exists in one place.
+//
+// Shares use Shamir secret sharing over Z_q with a degree-(t-1) polynomial;
+// any t of the ι nodes can decrypt, fewer learn nothing.
+package dkg
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/splicer-pcn/splicer/internal/group"
+)
+
+// Node is one KMG member's view after a DKG run: its share of the secret
+// and the public commitments of all dealers.
+type Node struct {
+	Index int      // 1-based Shamir evaluation point
+	Share *big.Int // s_i = Σ_j f_j(i) mod q
+}
+
+// Key is the outcome of one DKG run: a public key whose secret is shared
+// among the nodes.
+type Key struct {
+	PK        *big.Int
+	Nodes     []Node
+	Threshold int
+	grp       *group.Group
+}
+
+// Commitments from one dealer's Feldman VSS: C_k = g^{a_k} for polynomial
+// coefficients a_k.
+type commitments []*big.Int
+
+// Generate runs a joint Feldman DKG among n nodes with the given threshold
+// t (any t shares reconstruct). Every node acts as a dealer: it shares a
+// random secret; the group secret is the (never materialized) sum of dealer
+// secrets and the public key is the product of the dealers' C_0 values.
+func Generate(grp *group.Group, r io.Reader, n, t int) (*Key, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dkg: need at least one node, got %d", n)
+	}
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("dkg: threshold %d out of range [1,%d]", t, n)
+	}
+	shares := make([]*big.Int, n) // accumulated share per node
+	for i := range shares {
+		shares[i] = new(big.Int)
+	}
+	pk := big.NewInt(1)
+	for dealer := 0; dealer < n; dealer++ {
+		// Random polynomial f(z) = a_0 + a_1 z + ... + a_{t-1} z^{t-1}.
+		coeffs := make([]*big.Int, t)
+		for k := range coeffs {
+			a, err := grp.RandScalar(r)
+			if err != nil {
+				return nil, err
+			}
+			coeffs[k] = a
+		}
+		// Feldman commitments.
+		comms := make(commitments, t)
+		for k, a := range coeffs {
+			comms[k] = grp.Exp(a)
+		}
+		// Deal share f(i) to each node and verify against commitments —
+		// the verification is what makes this a VSS rather than plain
+		// Shamir; a corrupted dealer would be caught here.
+		for i := 1; i <= n; i++ {
+			s := evalPoly(coeffs, big.NewInt(int64(i)), grp.Q)
+			if !verifyShare(grp, comms, i, s) {
+				return nil, fmt.Errorf("dkg: dealer %d produced an invalid share for node %d", dealer, i)
+			}
+			shares[i-1].Add(shares[i-1], s)
+			shares[i-1].Mod(shares[i-1], grp.Q)
+		}
+		pk = grp.Mul(pk, comms[0])
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Index: i + 1, Share: shares[i]}
+	}
+	return &Key{PK: pk, Nodes: nodes, Threshold: t, grp: grp}, nil
+}
+
+// evalPoly evaluates the polynomial with the given coefficients at x mod q.
+func evalPoly(coeffs []*big.Int, x, q *big.Int) *big.Int {
+	// Horner's rule.
+	out := new(big.Int)
+	for k := len(coeffs) - 1; k >= 0; k-- {
+		out.Mul(out, x)
+		out.Add(out, coeffs[k])
+		out.Mod(out, q)
+	}
+	return out
+}
+
+// verifyShare checks g^s == Π C_k^{i^k}, the Feldman VSS share validity
+// equation.
+func verifyShare(grp *group.Group, comms commitments, i int, share *big.Int) bool {
+	lhs := grp.Exp(share)
+	rhs := big.NewInt(1)
+	xi := big.NewInt(1)
+	bi := big.NewInt(int64(i))
+	for _, c := range comms {
+		rhs = grp.Mul(rhs, grp.ExpBase(c, xi))
+		xi = new(big.Int).Mul(xi, bi)
+		// Exponents live mod q.
+		xi.Mod(xi, grp.Q)
+	}
+	return lhs.Cmp(rhs) == 0
+}
+
+// PartialDecrypt returns node i's partial decryption C1^{s_i} of the
+// ciphertext.
+func (k *Key) PartialDecrypt(node Node, ct group.Ciphertext) *big.Int {
+	return k.grp.ExpBase(ct.C1, node.Share)
+}
+
+// Partial pairs a node index with its partial decryption.
+type Partial struct {
+	Index int
+	Value *big.Int
+}
+
+// CombineDecrypt combines at least Threshold partial decryptions into the
+// plaintext via Lagrange interpolation in the exponent.
+func (k *Key) CombineDecrypt(parts []Partial, ct group.Ciphertext) ([]byte, error) {
+	if len(parts) < k.Threshold {
+		return nil, fmt.Errorf("dkg: %d partials below threshold %d", len(parts), k.Threshold)
+	}
+	parts = parts[:k.Threshold]
+	seen := map[int]bool{}
+	for _, p := range parts {
+		if p.Index < 1 || seen[p.Index] {
+			return nil, fmt.Errorf("dkg: duplicate or invalid partial index %d", p.Index)
+		}
+		seen[p.Index] = true
+	}
+	// shared = Π part_i ^ λ_i where λ_i are Lagrange coefficients at 0.
+	shared := big.NewInt(1)
+	for _, p := range parts {
+		lam := lagrangeAtZero(parts, p.Index, k.grp.Q)
+		shared = k.grp.Mul(shared, k.grp.ExpBase(p.Value, lam))
+	}
+	return k.grp.DecryptWithShared(shared, ct)
+}
+
+// lagrangeAtZero computes λ_i = Π_{j≠i} j/(j-i) mod q over the indices in
+// parts.
+func lagrangeAtZero(parts []Partial, i int, q *big.Int) *big.Int {
+	num := big.NewInt(1)
+	den := big.NewInt(1)
+	bi := big.NewInt(int64(i))
+	for _, p := range parts {
+		if p.Index == i {
+			continue
+		}
+		bj := big.NewInt(int64(p.Index))
+		num.Mul(num, bj)
+		num.Mod(num, q)
+		diff := new(big.Int).Sub(bj, bi)
+		diff.Mod(diff, q)
+		den.Mul(den, diff)
+		den.Mod(den, q)
+	}
+	den.ModInverse(den, q)
+	out := new(big.Int).Mul(num, den)
+	return out.Mod(out, q)
+}
+
+// ReconstructSecret recombines the full secret from >= Threshold shares.
+// Only used by tests to validate the sharing; the protocol itself never
+// calls this.
+func (k *Key) ReconstructSecret(nodes []Node) (*big.Int, error) {
+	if len(nodes) < k.Threshold {
+		return nil, fmt.Errorf("dkg: %d shares below threshold %d", len(nodes), k.Threshold)
+	}
+	nodes = nodes[:k.Threshold]
+	parts := make([]Partial, len(nodes))
+	for i, n := range nodes {
+		parts[i] = Partial{Index: n.Index}
+	}
+	secret := new(big.Int)
+	for i, n := range nodes {
+		lam := lagrangeAtZero(parts, parts[i].Index, k.grp.Q)
+		term := new(big.Int).Mul(n.Share, lam)
+		secret.Add(secret, term)
+		secret.Mod(secret, k.grp.Q)
+	}
+	return secret, nil
+}

@@ -1,0 +1,186 @@
+package dkg
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/group"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	g := group.Default()
+	if _, err := Generate(g, nil, 0, 1); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := Generate(g, nil, 3, 0); err == nil {
+		t.Fatal("expected error for t=0")
+	}
+	if _, err := Generate(g, nil, 3, 4); err == nil {
+		t.Fatal("expected error for t>n")
+	}
+}
+
+func TestThresholdDecryption(t *testing.T) {
+	g := group.Default()
+	key, err := Generate(g, nil, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("payment demand: Ps -> Pr, 42 tokens")
+	ct, err := g.Encrypt(nil, key.PK, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any 3 nodes decrypt; use nodes 1, 3, 5.
+	parts := []Partial{
+		{Index: key.Nodes[0].Index, Value: key.PartialDecrypt(key.Nodes[0], ct)},
+		{Index: key.Nodes[2].Index, Value: key.PartialDecrypt(key.Nodes[2], ct)},
+		{Index: key.Nodes[4].Index, Value: key.PartialDecrypt(key.Nodes[4], ct)},
+	}
+	got, err := key.CombineDecrypt(parts, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("threshold decryption failed: %q", got)
+	}
+}
+
+func TestBelowThresholdFails(t *testing.T) {
+	g := group.Default()
+	key, err := Generate(g, nil, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := g.Encrypt(nil, key.PK, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []Partial{
+		{Index: key.Nodes[0].Index, Value: key.PartialDecrypt(key.Nodes[0], ct)},
+		{Index: key.Nodes[1].Index, Value: key.PartialDecrypt(key.Nodes[1], ct)},
+	}
+	if _, err := key.CombineDecrypt(parts, ct); err == nil {
+		t.Fatal("expected error below threshold")
+	}
+}
+
+func TestDuplicatePartialsRejected(t *testing.T) {
+	g := group.Default()
+	key, err := Generate(g, nil, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := g.Encrypt(nil, key.PK, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Partial{Index: key.Nodes[0].Index, Value: key.PartialDecrypt(key.Nodes[0], ct)}
+	if _, err := key.CombineDecrypt([]Partial{p, p}, ct); err == nil {
+		t.Fatal("expected duplicate-index error")
+	}
+}
+
+func TestWrongSubsetGarbles(t *testing.T) {
+	// Partials from a different ciphertext must not decrypt this one.
+	g := group.Default()
+	key, err := Generate(g, nil, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("real message")
+	ct, err := g.Encrypt(nil, key.PK, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := g.Encrypt(nil, key.PK, []byte("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []Partial{
+		{Index: key.Nodes[0].Index, Value: key.PartialDecrypt(key.Nodes[0], other)},
+		{Index: key.Nodes[1].Index, Value: key.PartialDecrypt(key.Nodes[1], other)},
+	}
+	got, err := key.CombineDecrypt(parts, ct)
+	if err != nil {
+		// Rejection is also acceptable (shared secret off-group is not
+		// possible here, but garbled output is the norm).
+		return
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("mismatched partials decrypted the message")
+	}
+}
+
+func TestReconstructSecretMatchesPK(t *testing.T) {
+	g := group.Default()
+	key, err := Generate(g, nil, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct from nodes {2,4,5} and check G^secret == PK.
+	secret, err := key.ReconstructSecret([]Node{key.Nodes[1], key.Nodes[3], key.Nodes[4]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Exp(secret).Cmp(key.PK) != 0 {
+		t.Fatal("reconstructed secret does not match public key")
+	}
+	// A different subset reconstructs the same secret.
+	secret2, err := key.ReconstructSecret([]Node{key.Nodes[0], key.Nodes[1], key.Nodes[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secret.Cmp(secret2) != 0 {
+		t.Fatal("different subsets reconstructed different secrets")
+	}
+}
+
+func TestReconstructBelowThreshold(t *testing.T) {
+	g := group.Default()
+	key, err := Generate(g, nil, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := key.ReconstructSecret(key.Nodes[:2]); err == nil {
+		t.Fatal("expected error below threshold")
+	}
+}
+
+func TestSingleNodeDKG(t *testing.T) {
+	// Degenerate ι=1 committee still produces a working key.
+	g := group.Default()
+	key, err := Generate(g, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("solo")
+	ct, err := g.Encrypt(nil, key.PK, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []Partial{{Index: 1, Value: key.PartialDecrypt(key.Nodes[0], ct)}}
+	got, err := key.CombineDecrypt(parts, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("single-node DKG failed")
+	}
+}
+
+func TestFreshKeysDiffer(t *testing.T) {
+	// Each payment gets a fresh (pk, sk): two runs must differ.
+	g := group.Default()
+	k1, err := Generate(g, nil, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Generate(g, nil, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.PK.Cmp(k2.PK) == 0 {
+		t.Fatal("two DKG runs produced the same public key")
+	}
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/routing"
+)
+
+// tinyScenario keeps test runtime low while exercising every runner.
+func tinyScenario() Scenario {
+	s := SmallScale()
+	s.Nodes = 50
+	s.Rate = 30
+	s.Duration = 3
+	s.HubCandidates = 6
+	return s
+}
+
+func TestScenarioBuild(t *testing.T) {
+	g, trace, err := tinyScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 || len(trace) == 0 {
+		t.Fatalf("nodes=%d trace=%d", g.NumNodes(), len(trace))
+	}
+	if !g.Connected() {
+		t.Fatal("scenario graph not connected")
+	}
+}
+
+func TestScenarioDefaultsMatchPaper(t *testing.T) {
+	small, large := SmallScale(), LargeScale()
+	if small.Nodes != 100 || large.Nodes != 3000 {
+		t.Fatalf("scales: %d / %d, want 100 / 3000", small.Nodes, large.Nodes)
+	}
+	if small.Timeout != 3 {
+		t.Fatalf("timeout %v, want 3s", small.Timeout)
+	}
+}
+
+func TestFigChannelSizeShape(t *testing.T) {
+	base := tinyScenario()
+	// Two-point sweep for speed.
+	old := ChannelScaleSweep
+	ChannelScaleSweep = []float64{0.5, 2}
+	defer func() { ChannelScaleSweep = old }()
+	series, err := FigChannelSize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Schemes) {
+		t.Fatalf("series count %d", len(series))
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s has %d points", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Fatalf("%s TSR %v out of range", s.Name, p.Y)
+			}
+		}
+		byName[s.Name] = s
+	}
+	// Larger channels help every scheme (monotone non-decreasing TSR) —
+	// check the flagship at least.
+	sp := byName["Splicer"]
+	if sp.Points[1].Y+0.02 < sp.Points[0].Y {
+		t.Fatalf("Splicer TSR fell with bigger channels: %v -> %v", sp.Points[0].Y, sp.Points[1].Y)
+	}
+}
+
+func TestFigUpdateTimeSplicerStable(t *testing.T) {
+	base := tinyScenario()
+	old := TauSweepMs
+	TauSweepMs = []float64{200, 800}
+	defer func() { TauSweepMs = old }()
+	series, err := FigUpdateTime(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var splicer, a2l Series
+	for _, s := range series {
+		switch s.Name {
+		case "Splicer":
+			splicer = s
+		case "A2L":
+			a2l = s
+		}
+	}
+	// Paper: Splicer stays high as τ grows; A2L is the weakest of the five.
+	for _, p := range splicer.Points {
+		if p.Y < 0.5 {
+			t.Fatalf("Splicer TSR %v at τ=%vms too low", p.Y, p.X)
+		}
+	}
+	if a2l.Points[len(a2l.Points)-1].Y > splicer.Points[len(splicer.Points)-1].Y {
+		t.Fatalf("A2L (%v) beat Splicer (%v) at large τ",
+			a2l.Points[len(a2l.Points)-1].Y, splicer.Points[len(splicer.Points)-1].Y)
+	}
+}
+
+func TestFigBalanceCostApproxNearOptimal(t *testing.T) {
+	base := tinyScenario()
+	old := OmegaSweep
+	OmegaSweep = []float64{0.05, 0.5, 2}
+	defer func() { OmegaSweep = old }()
+	series, err := FigBalanceCost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("expected model+optimal, got %d series", len(series))
+	}
+	gap := MeanGap(series[0], series[1])
+	if math.IsNaN(gap) || gap > 0.5 {
+		t.Fatalf("approximation gap %v too large", gap)
+	}
+	// Model can never beat the optimum.
+	for i := range series[1].Points {
+		if series[0].Points[i].Y < series[1].Points[i].Y-1e-9 {
+			t.Fatal("approximation below the optimum")
+		}
+	}
+}
+
+func TestFigHubCountMonotone(t *testing.T) {
+	base := tinyScenario()
+	old := OmegaSweep
+	OmegaSweep = []float64{0.01, 5.12}
+	defer func() { OmegaSweep = old }()
+	s, err := FigHubCount(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points: %v", s.Points)
+	}
+	// Management-cost-dominated (small ω) places at least as many hubs as
+	// sync-dominated (large ω) — Fig. 9(c/d) shape.
+	if s.Points[0].Y < s.Points[1].Y {
+		t.Fatalf("hub count not monotone: %v", s.Points)
+	}
+	if s.Points[1].Y < 1 {
+		t.Fatal("placement must keep at least one hub")
+	}
+}
+
+func TestFigCostTradeoff(t *testing.T) {
+	base := tinyScenario()
+	old := OmegaSweep
+	OmegaSweep = []float64{0.05, 1}
+	defer func() { OmegaSweep = old }()
+	points, err := FigCostTradeoff(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points: %+v", points)
+	}
+	for _, p := range points {
+		if p.NumHubs < 1 || p.MgmtCost < 0 || p.SyncCost < 0 {
+			t.Fatalf("bad tradeoff point %+v", p)
+		}
+	}
+	tab := TradeoffTable("fig9b", points)
+	if len(tab.Rows) != 2 {
+		t.Fatal("tradeoff table wrong")
+	}
+}
+
+func TestFigDelayOverhead(t *testing.T) {
+	base := tinyScenario()
+	old := OmegaSweep
+	OmegaSweep = []float64{0.05, 1}
+	defer func() { OmegaSweep = old }()
+	points, err := FigDelayOverhead(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withPCH, without []DelayOverheadPoint
+	for _, p := range points {
+		if p.WithPCH {
+			withPCH = append(withPCH, p)
+		} else {
+			without = append(without, p)
+		}
+	}
+	if len(withPCH) != 2 || len(without) != 1 {
+		t.Fatalf("points: %+v", points)
+	}
+	// Paper: with PCHs the average delay is much lower at similar overhead.
+	for _, p := range withPCH {
+		if p.DelayMs <= 0 {
+			t.Fatalf("non-positive delay %+v", p)
+		}
+		if p.DelayMs >= without[0].DelayMs {
+			t.Fatalf("PCH delay %v not below source-routing delay %v", p.DelayMs, without[0].DelayMs)
+		}
+	}
+	tab := DelayOverheadTable("fig9e", points)
+	if len(tab.Rows) != 3 {
+		t.Fatal("delay-overhead table wrong")
+	}
+}
+
+func TestTableIStatic(t *testing.T) {
+	tab := TableI()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Splicer column (last) is all ✓.
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "✓" {
+			t.Fatalf("Splicer missing property %q", row[0])
+		}
+	}
+	if !strings.Contains(tab.Markdown(), "Optimal hub placement") {
+		t.Fatal("markdown render broken")
+	}
+	if !strings.Contains(tab.CSV(), "Deadlock-free routing") {
+		t.Fatal("csv render broken")
+	}
+}
+
+func TestTableIIReduced(t *testing.T) {
+	base := tinyScenario()
+	rows, err := TableII(base, base, TableIIOptions{
+		PathTypes:   []routing.PathType{routing.EDW, routing.KSP},
+		PathNumbers: []int{1, 5},
+		Schedulers:  []string{"LIFO", "FIFO"},
+		SkipLarge:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	byChoice := map[string]TableIIRow{}
+	for _, r := range rows {
+		if r.Small < 0 || r.Small > 1 {
+			t.Fatalf("TSR out of range: %+v", r)
+		}
+		byChoice[r.Group+"/"+r.Choice] = r
+	}
+	// Table II shape: 5 paths beat 1 path.
+	if byChoice["Path Number/5"].Small < byChoice["Path Number/1"].Small {
+		t.Fatalf("k=5 (%v) worse than k=1 (%v)",
+			byChoice["Path Number/5"].Small, byChoice["Path Number/1"].Small)
+	}
+	tab := TableIITable(rows)
+	if len(tab.Rows) != 6 {
+		t.Fatal("render broken")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	tab := SeriesTable("t", "x", []Series{
+		{Name: "a", Points: []Point{{1, 0.5}, {2, 0.6}}},
+		{Name: "b", Points: []Point{{1, 0.7}, {2, 0.8}}},
+	})
+	if len(tab.Rows) != 2 || tab.Header[1] != "a" || tab.Header[2] != "b" {
+		t.Fatalf("table: %+v", tab)
+	}
+}
+
+func TestRunSchemeMutate(t *testing.T) {
+	res, err := tinyScenario().RunScheme(pcn.SchemeSplicer, func(c *pcn.Config) { c.NumPaths = 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == 0 {
+		t.Fatal("no transactions")
+	}
+}

@@ -1,0 +1,200 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): the Fig. 7/8 scheme comparisons on small (100-node) and
+// large (3000-node) networks, the Fig. 9 placement evaluation, the Table I
+// qualitative property matrix and the Table II routing-choice study.
+//
+// Runners return Series (figure lines) or Table values and can emit CSV;
+// cmd/experiments is the CLI front end and bench_test.go wraps each runner
+// in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// Scenario fixes a network + workload configuration for one experiment run.
+type Scenario struct {
+	Name string
+	Seed uint64
+	// Nodes in the Watts–Strogatz channel graph (paper: 100 / 3000).
+	Nodes int
+	// WSDegree and WSBeta parameterize the small-world generator.
+	WSDegree int
+	WSBeta   float64
+	// ChannelScale multiplies the LN-calibrated channel sizes.
+	ChannelScale float64
+	// ValueScale multiplies transaction values.
+	ValueScale float64
+	// Rate is the aggregate arrival rate (tx/s); Duration the trace length.
+	Rate     float64
+	Duration float64
+	// Timeout per transaction (paper: 3 s).
+	Timeout float64
+	// ZipfSkew and CirculationFraction shape the endpoint distribution.
+	ZipfSkew            float64
+	CirculationFraction float64
+	// HubCandidates for Splicer's placement.
+	HubCandidates int
+}
+
+// SmallScale returns the paper's small-scale scenario (100 nodes). The
+// arrival rate and duration are simulator-budget choices; the structural
+// parameters follow §V-A.
+func SmallScale() Scenario {
+	return Scenario{
+		Name:                "small",
+		Seed:                1,
+		Nodes:               100,
+		WSDegree:            4,
+		WSBeta:              0.25,
+		ChannelScale:        1,
+		ValueScale:          1,
+		Rate:                120,
+		Duration:            8,
+		Timeout:             3,
+		ZipfSkew:            0.8,
+		CirculationFraction: 0.25,
+		HubCandidates:       10,
+	}
+}
+
+// LargeScale returns the paper's large-scale scenario (3000 nodes).
+func LargeScale() Scenario {
+	s := SmallScale()
+	s.Name = "large"
+	s.Seed = 2
+	s.Nodes = 3000
+	s.Rate = 400
+	s.Duration = 6
+	s.HubCandidates = 24
+	return s
+}
+
+// Build materializes the graph and trace.
+func (s Scenario) Build() (*graph.Graph, []workload.Tx, error) {
+	src := rng.New(s.Seed)
+	sizes := workload.NewChannelSizeDist(src.Split(1), s.ChannelScale)
+	g, err := topology.WattsStrogatz(src.Split(2), s.Nodes, s.WSDegree, s.WSBeta, sizes.CapacityFunc())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: topology: %w", err)
+	}
+	clients := make([]graph.NodeID, s.Nodes)
+	for i := range clients {
+		clients[i] = graph.NodeID(i)
+	}
+	trace, err := workload.Generate(src.Split(3), workload.Config{
+		Clients:             clients,
+		Rate:                s.Rate,
+		Duration:            s.Duration,
+		Timeout:             s.Timeout,
+		ZipfSkew:            s.ZipfSkew,
+		ValueScale:          s.ValueScale,
+		CirculationFraction: s.CirculationFraction,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: workload: %w", err)
+	}
+	return g, trace, nil
+}
+
+// RunScheme executes one scheme on the scenario with optional config
+// mutation.
+func (s Scenario) RunScheme(scheme pcn.Scheme, mutate func(*pcn.Config)) (pcn.Result, error) {
+	g, trace, err := s.Build()
+	if err != nil {
+		return pcn.Result{}, err
+	}
+	cfg := pcn.NewConfig(scheme)
+	cfg.NumHubCandidates = s.HubCandidates
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := pcn.NewNetwork(g, cfg)
+	if err != nil {
+		return pcn.Result{}, err
+	}
+	return n.Run(trace)
+}
+
+// Schemes compared in Figs. 7-8, in the paper's legend order.
+var Schemes = []pcn.Scheme{
+	pcn.SchemeSplicer,
+	pcn.SchemeSpider,
+	pcn.SchemeFlash,
+	pcn.SchemeLandmark,
+	pcn.SchemeA2L,
+}
+
+// Point is one (x, y) sample of a figure line.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labeled figure line.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// CSV renders the table as CSV.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// SeriesTable renders a set of series sharing X values into a table with
+// one column per series.
+func SeriesTable(title, xLabel string, series []Series) Table {
+	t := Table{Title: title, Header: []string{xLabel}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Name)
+	}
+	if len(series) == 0 {
+		return t
+	}
+	for i, p := range series[0].Points {
+		row := []string{fmt.Sprintf("%g", p.X)}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.4f", s.Points[i].Y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

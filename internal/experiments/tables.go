@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/splicer-pcn/splicer/internal/channel"
+	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/routing"
+)
+
+// TableI reproduces the paper's qualitative property matrix (Table I):
+// which scheme family offers which property. Static by construction.
+func TableI() Table {
+	yes, no := "✓", "—"
+	return Table{
+		Title: "Table I: state-of-the-art PCN scalable schemes",
+		Header: []string{
+			"Property",
+			"Lightning/Raiden", "Flare/Sprites", "REVIVE", "Spider", "Flash",
+			"TumbleBit", "A2L", "Perun", "Commit-Chains", "Splicer",
+		},
+		Rows: [][]string{
+			{"Improving throughput", no, no, yes, yes, yes, no, no, yes, yes, yes},
+			{"Support large transactions", no, no, no, yes, yes, no, no, no, no, yes},
+			{"Payment channel balance", no, no, yes, yes, no, no, no, no, no, yes},
+			{"Deadlock-free routing", no, no, no, yes, no, no, no, no, no, yes},
+			{"Transaction unlinkability", no, no, no, no, no, yes, yes, no, yes, yes},
+			{"Optimal hub placement", no, no, no, no, no, no, no, no, no, yes},
+		},
+	}
+}
+
+// TableIIRow is one cell group of Table II: a routing choice and its TSR at
+// both network scales.
+type TableIIRow struct {
+	Group  string // "Path Type", "Path Number", "Scheduling Algorithm"
+	Choice string
+	Small  float64
+	Large  float64
+}
+
+// TableIIOptions narrows the study for test/bench budgets.
+type TableIIOptions struct {
+	// PathTypes, PathNumbers, Schedulers default to the paper's grids when
+	// nil/empty.
+	PathTypes   []routing.PathType
+	PathNumbers []int
+	Schedulers  []string
+	// SkipLarge drops the large-scale column (test budgets).
+	SkipLarge bool
+}
+
+func (o *TableIIOptions) fill() {
+	if len(o.PathTypes) == 0 {
+		o.PathTypes = []routing.PathType{routing.KSP, routing.Heuristic, routing.EDW, routing.EDS}
+	}
+	if len(o.PathNumbers) == 0 {
+		o.PathNumbers = []int{1, 3, 5, 7}
+	}
+	if len(o.Schedulers) == 0 {
+		o.Schedulers = []string{"FIFO", "LIFO", "SPF", "EDF"}
+	}
+}
+
+// TableII reproduces the routing-choice study: Splicer's TSR for each path
+// type, path count, and queue scheduling algorithm, at small and large
+// scales.
+func TableII(small, large Scenario, opts TableIIOptions) ([]TableIIRow, error) {
+	opts.fill()
+	var rows []TableIIRow
+	run := func(scen Scenario, mutate func(*pcn.Config)) (float64, error) {
+		res, err := scen.RunScheme(pcn.SchemeSplicer, mutate)
+		if err != nil {
+			return 0, err
+		}
+		return res.TSR, nil
+	}
+	both := func(group, choice string, mutate func(*pcn.Config)) error {
+		s, err := run(small, mutate)
+		if err != nil {
+			return fmt.Errorf("experiments: table II %s/%s small: %w", group, choice, err)
+		}
+		l := 0.0
+		if !opts.SkipLarge {
+			l, err = run(large, mutate)
+			if err != nil {
+				return fmt.Errorf("experiments: table II %s/%s large: %w", group, choice, err)
+			}
+		}
+		rows = append(rows, TableIIRow{Group: group, Choice: choice, Small: s, Large: l})
+		return nil
+	}
+	for _, pt := range opts.PathTypes {
+		pt := pt
+		if err := both("Path Type", pt.String(), func(c *pcn.Config) { c.PathType = pt }); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range opts.PathNumbers {
+		k := k
+		if err := both("Path Number", fmt.Sprintf("%d", k), func(c *pcn.Config) { c.NumPaths = k }); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range opts.Schedulers {
+		sched, err := channel.SchedulerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := both("Scheduling Algorithm", name, func(c *pcn.Config) { c.Scheduler = sched }); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// TableIITable renders the rows.
+func TableIITable(rows []TableIIRow) Table {
+	t := Table{
+		Title:  "Table II: influence of routing choices on Splicer's TSR",
+		Header: []string{"Group", "Choice", "Small", "Large"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Group, r.Choice,
+			fmt.Sprintf("%.2f%%", 100*r.Small),
+			fmt.Sprintf("%.2f%%", 100*r.Large),
+		})
+	}
+	return t
+}

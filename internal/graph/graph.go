@@ -1,0 +1,574 @@
+// Package graph implements the graph algorithms Splicer's placement and
+// routing layers are built on: shortest paths, Yen's k-shortest paths,
+// widest (maximin-capacity) paths, edge-disjoint path extraction, and Dinic
+// max-flow for the Flash baseline.
+//
+// A payment channel network is modeled as an undirected multigraph of nodes
+// connected by channels, but every channel has independent per-direction
+// state, so the algorithms here operate on a directed view: an undirected
+// edge {u, v} contributes arcs u→v and v→u whose weights and capacities may
+// differ.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense indices in [0, NumNodes).
+type NodeID int
+
+// EdgeID identifies an undirected edge (channel). IDs are dense indices in
+// [0, NumEdges).
+type EdgeID int
+
+// Edge is an undirected edge between two nodes with a per-direction capacity.
+// CapFwd is the capacity in the U→V direction and CapRev in the V→U
+// direction; for PCNs these are the channel balances on each side.
+type Edge struct {
+	ID     EdgeID
+	U, V   NodeID
+	CapFwd float64
+	CapRev float64
+}
+
+// Capacity returns the capacity of the edge in the direction from node
+// `from`. It panics if from is not an endpoint.
+func (e Edge) Capacity(from NodeID) float64 {
+	switch from {
+	case e.U:
+		return e.CapFwd
+	case e.V:
+		return e.CapRev
+	default:
+		panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d", from, e.ID))
+	}
+}
+
+// Other returns the endpoint opposite to `from`. It panics if from is not an
+// endpoint.
+func (e Edge) Other(from NodeID) NodeID {
+	switch from {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d", from, e.ID))
+	}
+}
+
+// Graph is an undirected multigraph with per-direction edge capacities.
+// The zero value is an empty graph ready to use.
+type Graph struct {
+	edges []Edge
+	adj   [][]EdgeID // node -> incident edge ids
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]EdgeID, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a new isolated node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	g.adj = append(g.adj, nil)
+	return NodeID(len(g.adj) - 1)
+}
+
+// AddEdge adds an undirected edge between u and v with the given directional
+// capacities and returns its ID. Self-loops are rejected.
+func (g *Graph) AddEdge(u, v NodeID, capFwd, capRev float64) (EdgeID, error) {
+	if u == v {
+		return 0, fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	if int(u) < 0 || int(u) >= len(g.adj) || int(v) < 0 || int(v) >= len(g.adj) {
+		return 0, fmt.Errorf("graph: endpoint out of range: %d-%d with %d nodes", u, v, len(g.adj))
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, CapFwd: capFwd, CapRev: capRev})
+	g.adj[u] = append(g.adj[u], id)
+	g.adj[v] = append(g.adj[v], id)
+	return id, nil
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// SetCapacity updates the directional capacities of an edge.
+func (g *Graph) SetCapacity(id EdgeID, capFwd, capRev float64) {
+	g.edges[id].CapFwd = capFwd
+	g.edges[id].CapRev = capRev
+}
+
+// Incident returns the IDs of edges incident to node u. The returned slice
+// must not be modified.
+func (g *Graph) Incident(u NodeID) []EdgeID { return g.adj[u] }
+
+// Degree returns the number of edges incident to u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// HasEdgeBetween reports whether at least one edge directly connects u and v.
+func (g *Graph) HasEdgeBetween(u, v NodeID) bool {
+	for _, id := range g.adj[u] {
+		if g.edges[id].Other(u) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeBetween returns the first edge between u and v, if any.
+func (g *Graph) EdgeBetween(u, v NodeID) (Edge, bool) {
+	for _, id := range g.adj[u] {
+		if g.edges[id].Other(u) == v {
+			return g.edges[id], true
+		}
+	}
+	return Edge{}, false
+}
+
+// Edges returns a copy of all edges.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		edges: make([]Edge, len(g.edges)),
+		adj:   make([][]EdgeID, len(g.adj)),
+	}
+	copy(c.edges, g.edges)
+	for i, a := range g.adj {
+		c.adj[i] = append([]EdgeID(nil), a...)
+	}
+	return c
+}
+
+// Path is a walk through the graph expressed as the sequence of nodes
+// visited and the edges taken between consecutive nodes
+// (len(Edges) == len(Nodes)-1).
+type Path struct {
+	Nodes []NodeID
+	Edges []EdgeID
+}
+
+// Len returns the number of hops (edges) in the path.
+func (p Path) Len() int { return len(p.Edges) }
+
+// Valid reports whether the path is structurally consistent with g: each
+// edge connects the adjacent node pair.
+func (p Path) Valid(g *Graph) bool {
+	if len(p.Nodes) == 0 || len(p.Edges) != len(p.Nodes)-1 {
+		return false
+	}
+	for i, eid := range p.Edges {
+		if int(eid) < 0 || int(eid) >= g.NumEdges() {
+			return false
+		}
+		e := g.Edge(eid)
+		u, v := p.Nodes[i], p.Nodes[i+1]
+		if !(e.U == u && e.V == v) && !(e.U == v && e.V == u) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bottleneck returns the minimum directional capacity along the path, i.e.
+// the maximum amount routable over it in a single shot.
+func (p Path) Bottleneck(g *Graph) float64 {
+	b := math.Inf(1)
+	for i, eid := range p.Edges {
+		c := g.Edge(eid).Capacity(p.Nodes[i])
+		if c < b {
+			b = c
+		}
+	}
+	return b
+}
+
+// Equal reports whether two paths take the same edges through the same
+// nodes.
+func (p Path) Equal(q Path) bool {
+	if len(p.Nodes) != len(q.Nodes) || len(p.Edges) != len(q.Edges) {
+		return false
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i] != q.Nodes[i] {
+			return false
+		}
+	}
+	for i := range p.Edges {
+		if p.Edges[i] != q.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightFunc assigns a traversal cost to using edge e in the direction out of
+// node `from`. Returning math.Inf(1) excludes the arc.
+type WeightFunc func(e Edge, from NodeID) float64
+
+// UnitWeight weights every arc 1 (hop count).
+func UnitWeight(Edge, NodeID) float64 { return 1 }
+
+// CapacityFilteredUnitWeight weights arcs 1 but excludes arcs whose
+// directional capacity is below minCap.
+func CapacityFilteredUnitWeight(minCap float64) WeightFunc {
+	return func(e Edge, from NodeID) float64 {
+		if e.Capacity(from) < minCap {
+			return math.Inf(1)
+		}
+		return 1
+	}
+}
+
+// BFSHops returns the hop distance from src to every node (-1 when
+// unreachable), ignoring capacities.
+func (g *Graph) BFSHops(src NodeID) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.adj[u] {
+			v := g.edges[eid].Other(u)
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsHops computes the hop-distance matrix via one BFS per node.
+// The result is symmetric; unreachable pairs have -1.
+func (g *Graph) AllPairsHops() [][]int {
+	out := make([][]int, g.NumNodes())
+	for i := range out {
+		out[i] = g.BFSHops(NodeID(i))
+	}
+	return out
+}
+
+// Connected reports whether the graph is connected (vacuously true for 0 or
+// 1 nodes).
+func (g *Graph) Connected() bool {
+	if g.NumNodes() <= 1 {
+		return true
+	}
+	dist := g.BFSHops(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ShortestPath runs Dijkstra from src to dst under w and returns the
+// minimum-cost path. ok is false when dst is unreachable.
+func (g *Graph) ShortestPath(src, dst NodeID, w WeightFunc) (Path, bool) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	prevEdge := make([]EdgeID, n)
+	prevNode := make([]NodeID, n)
+	visited := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+		prevNode[i] = -1
+	}
+	dist[src] = 0
+	pq := newNodeHeap()
+	pq.push(src, 0)
+	for pq.len() > 0 {
+		u, du := pq.pop()
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		if u == dst {
+			break
+		}
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			cost := w(e, u)
+			if math.IsInf(cost, 1) {
+				continue
+			}
+			if cost < 0 {
+				panic("graph: negative edge weight")
+			}
+			v := e.Other(u)
+			if nd := du + cost; nd < dist[v] {
+				dist[v] = nd
+				prevEdge[v] = eid
+				prevNode[v] = u
+				pq.push(v, nd)
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	return reconstruct(src, dst, prevNode, prevEdge), true
+}
+
+// WidestPath returns the path from src to dst maximizing the bottleneck
+// directional capacity (a maximin Dijkstra). Ties are broken by hop count.
+// ok is false when dst is unreachable through positive-capacity arcs.
+func (g *Graph) WidestPath(src, dst NodeID) (Path, bool) {
+	n := g.NumNodes()
+	width := make([]float64, n)
+	hops := make([]int, n)
+	prevEdge := make([]EdgeID, n)
+	prevNode := make([]NodeID, n)
+	done := make([]bool, n)
+	for i := range width {
+		width[i] = 0
+		hops[i] = math.MaxInt
+		prevEdge[i] = -1
+		prevNode[i] = -1
+	}
+	width[src] = math.Inf(1)
+	hops[src] = 0
+	pq := newNodeHeap()
+	pq.push(src, 0) // priority = -width so the widest pops first
+	for pq.len() > 0 {
+		u, _ := pq.pop()
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			c := e.Capacity(u)
+			if c <= 0 {
+				continue
+			}
+			v := e.Other(u)
+			nw := math.Min(width[u], c)
+			nh := hops[u] + 1
+			if nw > width[v] || (nw == width[v] && nh < hops[v]) {
+				width[v] = nw
+				hops[v] = nh
+				prevEdge[v] = eid
+				prevNode[v] = u
+				pq.push(v, -nw)
+			}
+		}
+	}
+	if width[dst] <= 0 || (prevNode[dst] == -1 && src != dst) {
+		return Path{}, false
+	}
+	return reconstruct(src, dst, prevNode, prevEdge), true
+}
+
+func reconstruct(src, dst NodeID, prevNode []NodeID, prevEdge []EdgeID) Path {
+	var nodes []NodeID
+	var edges []EdgeID
+	for at := dst; ; {
+		nodes = append(nodes, at)
+		if at == src {
+			break
+		}
+		edges = append(edges, prevEdge[at])
+		at = prevNode[at]
+	}
+	// Reverse in place.
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	return Path{Nodes: nodes, Edges: edges}
+}
+
+// KShortestPaths implements Yen's algorithm, returning up to k loopless
+// minimum-cost paths from src to dst under w, in nondecreasing cost order.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := g.ShortestPath(src, dst, w)
+	if !ok {
+		return nil
+	}
+	result := []Path{first}
+	type candidate struct {
+		path Path
+		cost float64
+	}
+	var candidates []candidate
+	pathCost := func(p Path) float64 {
+		c := 0.0
+		for i, eid := range p.Edges {
+			c += w(g.edges[eid], p.Nodes[i])
+		}
+		return c
+	}
+	seen := map[string]bool{pathKey(first): true}
+
+	for len(result) < k {
+		prev := result[len(result)-1]
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spurNode := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+			rootEdges := prev.Edges[:i]
+
+			// Exclude arcs that would recreate any already-found path
+			// sharing this root, and exclude root nodes to keep paths
+			// loopless.
+			bannedEdges := map[EdgeID]bool{}
+			for _, rp := range result {
+				if len(rp.Nodes) > i && equalPrefix(rp.Nodes, rootNodes) {
+					bannedEdges[rp.Edges[i]] = true
+				}
+			}
+			bannedNodes := map[NodeID]bool{}
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				bannedNodes[n] = true
+			}
+			wf := func(e Edge, from NodeID) float64 {
+				if bannedEdges[e.ID] || bannedNodes[e.Other(from)] {
+					return math.Inf(1)
+				}
+				return w(e, from)
+			}
+			spur, ok := g.ShortestPath(spurNode, dst, wf)
+			if !ok {
+				continue
+			}
+			total := Path{
+				Nodes: append(append([]NodeID(nil), rootNodes...), spur.Nodes[1:]...),
+				Edges: append(append([]EdgeID(nil), rootEdges...), spur.Edges...),
+			}
+			key := pathKey(total)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, candidate{path: total, cost: pathCost(total)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].cost < candidates[b].cost })
+		result = append(result, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return result
+}
+
+func equalPrefix(nodes []NodeID, prefix []NodeID) bool {
+	if len(nodes) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if nodes[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(p Path) string {
+	b := make([]byte, 0, len(p.Nodes)*4)
+	for _, n := range p.Nodes {
+		b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return string(b)
+}
+
+// EdgeDisjointShortestPaths greedily extracts up to k pairwise edge-disjoint
+// shortest (fewest-hop) paths: find a shortest path, remove its edges,
+// repeat. This matches the EDS path type in the paper's Table II.
+func (g *Graph) EdgeDisjointShortestPaths(src, dst NodeID, k int) []Path {
+	return g.edgeDisjoint(src, dst, k, func(used map[EdgeID]bool) (Path, bool) {
+		return g.ShortestPath(src, dst, func(e Edge, from NodeID) float64 {
+			if used[e.ID] {
+				return math.Inf(1)
+			}
+			return 1
+		})
+	})
+}
+
+// EdgeDisjointWidestPaths greedily extracts up to k pairwise edge-disjoint
+// widest paths (the EDW path type): find the widest path, remove its edges,
+// repeat.
+func (g *Graph) EdgeDisjointWidestPaths(src, dst NodeID, k int) []Path {
+	masked := g.Clone()
+	var out []Path
+	for len(out) < k {
+		p, ok := masked.WidestPath(src, dst)
+		if !ok {
+			break
+		}
+		out = append(out, p)
+		for _, eid := range p.Edges {
+			masked.SetCapacity(eid, 0, 0)
+		}
+	}
+	return out
+}
+
+func (g *Graph) edgeDisjoint(src, dst NodeID, k int, next func(used map[EdgeID]bool) (Path, bool)) []Path {
+	used := map[EdgeID]bool{}
+	var out []Path
+	for len(out) < k {
+		p, ok := next(used)
+		if !ok {
+			break
+		}
+		out = append(out, p)
+		for _, eid := range p.Edges {
+			used[eid] = true
+		}
+	}
+	return out
+}
+
+// HighestFundPaths implements the paper's "Heuristic" path type: pick up to
+// k loopless paths with the highest bottleneck funds, by running Yen's
+// algorithm under an inverse-capacity weight and reranking by bottleneck.
+func (g *Graph) HighestFundPaths(src, dst NodeID, k int) []Path {
+	// Generate a wider candidate pool than k, then keep the k with the
+	// largest bottleneck capacity.
+	pool := g.KShortestPaths(src, dst, 3*k, func(e Edge, from NodeID) float64 {
+		c := e.Capacity(from)
+		if c <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / c
+	})
+	sort.SliceStable(pool, func(a, b int) bool {
+		return pool[a].Bottleneck(g) > pool[b].Bottleneck(g)
+	})
+	if len(pool) > k {
+		pool = pool[:k]
+	}
+	return pool
+}

@@ -1,0 +1,57 @@
+package graph
+
+// nodeHeap is a binary min-heap of (node, priority) pairs specialized for
+// Dijkstra-style traversals. Duplicate pushes of a node are allowed; stale
+// entries are skipped by the caller via a visited set.
+type nodeHeap struct {
+	nodes []NodeID
+	prio  []float64
+}
+
+func newNodeHeap() *nodeHeap { return &nodeHeap{} }
+
+func (h *nodeHeap) len() int { return len(h.nodes) }
+
+func (h *nodeHeap) push(n NodeID, p float64) {
+	h.nodes = append(h.nodes, n)
+	h.prio = append(h.prio, p)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() (NodeID, float64) {
+	n, p := h.nodes[0], h.prio[0]
+	last := len(h.nodes) - 1
+	h.swap(0, last)
+	h.nodes = h.nodes[:last]
+	h.prio = h.prio[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.prio[l] < h.prio[smallest] {
+			smallest = l
+		}
+		if r < last && h.prio[r] < h.prio[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return n, p
+}
+
+func (h *nodeHeap) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+}

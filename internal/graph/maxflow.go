@@ -1,0 +1,174 @@
+package graph
+
+import "math"
+
+// FlowPath is a path together with the flow amount assigned to it by a flow
+// decomposition.
+type FlowPath struct {
+	Path   Path
+	Amount float64
+}
+
+const flowEps = 1e-9
+
+// maxflow residual arc. Forward arcs carry orig > 0 (the initial capacity);
+// pure residual arcs have orig == 0.
+type mfArc struct {
+	to   NodeID
+	cap  float64 // remaining residual capacity
+	orig float64 // initial capacity (0 for residual-only arcs)
+	rev  int     // index of the paired reverse arc in arcs[to]
+	edge EdgeID
+}
+
+// MaxFlow computes the maximum src→dst flow respecting directional edge
+// capacities using Dinic's algorithm, and decomposes the resulting flow into
+// paths. The Flash baseline uses this to route "elephant" payments.
+//
+// limit caps the computed flow (pass math.Inf(1) for the true max flow):
+// Flash stops augmenting once the payment amount is covered.
+func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (float64, []FlowPath) {
+	if src == dst || limit <= 0 {
+		return 0, nil
+	}
+	n := g.NumNodes()
+	arcs := make([][]mfArc, n)
+	addArc := func(u, v NodeID, c float64, eid EdgeID) {
+		arcs[u] = append(arcs[u], mfArc{to: v, cap: c, orig: c, rev: len(arcs[v]), edge: eid})
+		arcs[v] = append(arcs[v], mfArc{to: u, cap: 0, orig: 0, rev: len(arcs[u]) - 1, edge: eid})
+	}
+	for _, e := range g.edges {
+		if e.CapFwd > 0 {
+			addArc(e.U, e.V, e.CapFwd, e.ID)
+		}
+		if e.CapRev > 0 {
+			addArc(e.V, e.U, e.CapRev, e.ID)
+		}
+	}
+
+	level := make([]int, n)
+	iter := make([]int, n)
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[src] = 0
+		queue := []NodeID{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range arcs[u] {
+				if a.cap > flowEps && level[a.to] < 0 {
+					level[a.to] = level[u] + 1
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		return level[dst] >= 0
+	}
+	var dfs func(u NodeID, f float64) float64
+	dfs = func(u NodeID, f float64) float64 {
+		if u == dst {
+			return f
+		}
+		for ; iter[u] < len(arcs[u]); iter[u]++ {
+			a := &arcs[u][iter[u]]
+			if a.cap > flowEps && level[a.to] == level[u]+1 {
+				d := dfs(a.to, math.Min(f, a.cap))
+				if d > flowEps {
+					a.cap -= d
+					arcs[a.to][a.rev].cap += d
+					return d
+				}
+			}
+		}
+		return 0
+	}
+
+	total := 0.0
+	for total < limit-flowEps && bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(src, limit-total)
+			if f <= flowEps {
+				break
+			}
+			total += f
+			if total >= limit-flowEps {
+				break
+			}
+		}
+	}
+	if total <= flowEps {
+		return 0, nil
+	}
+
+	// Net flow on each forward arc is orig - cap; residual arcs never carry
+	// positive net flow of their own. Cancel opposite-direction flows on the
+	// same channel so the decomposition doesn't emit 2-cycles.
+	flow := make([][]float64, n)
+	for u := range arcs {
+		flow[u] = make([]float64, len(arcs[u]))
+		for i, a := range arcs[u] {
+			if a.orig > 0 {
+				if f := a.orig - a.cap; f > flowEps {
+					flow[u][i] = f
+				}
+			}
+		}
+	}
+
+	var paths []FlowPath
+	for iterGuard := 0; iterGuard <= len(g.edges)+1; iterGuard++ {
+		prevArc := make([]int, n)
+		prevNode := make([]NodeID, n)
+		for i := range prevArc {
+			prevArc[i] = -1
+			prevNode[i] = -1
+		}
+		queue := []NodeID{src}
+		seen := make([]bool, n)
+		seen[src] = true
+		for len(queue) > 0 && !seen[dst] {
+			u := queue[0]
+			queue = queue[1:]
+			for i, a := range arcs[u] {
+				if flow[u][i] > flowEps && !seen[a.to] {
+					seen[a.to] = true
+					prevArc[a.to] = i
+					prevNode[a.to] = u
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		if !seen[dst] {
+			break
+		}
+		amount := math.Inf(1)
+		for at := dst; at != src; at = prevNode[at] {
+			u := prevNode[at]
+			if f := flow[u][prevArc[at]]; f < amount {
+				amount = f
+			}
+		}
+		var nodes []NodeID
+		var eids []EdgeID
+		for at := dst; at != src; at = prevNode[at] {
+			u := prevNode[at]
+			nodes = append(nodes, at)
+			eids = append(eids, arcs[u][prevArc[at]].edge)
+			flow[u][prevArc[at]] -= amount
+		}
+		nodes = append(nodes, src)
+		for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+			nodes[i], nodes[j] = nodes[j], nodes[i]
+		}
+		for i, j := 0, len(eids)-1; i < j; i, j = i+1, j-1 {
+			eids[i], eids[j] = eids[j], eids[i]
+		}
+		paths = append(paths, FlowPath{Path: Path{Nodes: nodes, Edges: eids}, Amount: amount})
+	}
+	return total, paths
+}

@@ -1,0 +1,174 @@
+package group
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGroupParameters(t *testing.T) {
+	g := Default()
+	// p = 2q + 1.
+	want := new(big.Int).Lsh(g.Q, 1)
+	want.Add(want, big.NewInt(1))
+	if g.P.Cmp(want) != 0 {
+		t.Fatal("p != 2q+1")
+	}
+	if !g.P.ProbablyPrime(32) || !g.Q.ProbablyPrime(32) {
+		t.Fatal("p or q not prime")
+	}
+	// G generates the order-q subgroup: G^q == 1 and G != 1.
+	if !g.InGroup(g.G) {
+		t.Fatal("generator not in group")
+	}
+}
+
+func TestInGroupRejects(t *testing.T) {
+	g := Default()
+	cases := []*big.Int{
+		nil,
+		big.NewInt(0),
+		big.NewInt(-3),
+		new(big.Int).Set(g.P),
+		new(big.Int).Add(g.P, big.NewInt(5)),
+	}
+	for _, c := range cases {
+		if g.InGroup(c) {
+			t.Fatalf("InGroup accepted %v", c)
+		}
+	}
+	// An element of order 2q (a non-residue) must be rejected: -G mod P
+	// has order 2q.
+	bad := new(big.Int).Sub(g.P, g.G)
+	if g.InGroup(bad) {
+		t.Fatal("InGroup accepted an order-2q element")
+	}
+}
+
+func TestKeyPairConsistency(t *testing.T) {
+	g := Default()
+	kp, err := g.GenKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Exp(kp.SK).Cmp(kp.PK) != 0 {
+		t.Fatal("PK != G^SK")
+	}
+	if !g.InGroup(kp.PK) {
+		t.Fatal("PK not in group")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	g := Default()
+	kp, err := g.GenKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("x"),
+		[]byte("a payment demand D = (Ps, Pr, val)"),
+		bytes.Repeat([]byte{0xAB}, 1000),
+	}
+	for _, msg := range msgs {
+		ct, err := g.Encrypt(nil, kp.PK, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.Decrypt(kp.SK, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round trip failed for %d-byte message", len(msg))
+		}
+	}
+}
+
+func TestDecryptWithWrongKeyGarbles(t *testing.T) {
+	g := Default()
+	kp1, err := g.GenKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp2, err := g.GenKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("confidential transaction demand")
+	ct, err := g.Encrypt(nil, kp1.PK, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Decrypt(kp2.SK, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("wrong key decrypted successfully")
+	}
+}
+
+func TestEncryptRejectsBadPK(t *testing.T) {
+	g := Default()
+	if _, err := g.Encrypt(nil, big.NewInt(0), []byte("m")); err == nil {
+		t.Fatal("expected error for invalid pk")
+	}
+}
+
+func TestDecryptRejectsBadC1(t *testing.T) {
+	g := Default()
+	kp, err := g.GenKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Decrypt(kp.SK, Ciphertext{C1: big.NewInt(0), Data: []byte("x")}); err == nil {
+		t.Fatal("expected error for invalid C1")
+	}
+}
+
+func TestCiphertextsDiffer(t *testing.T) {
+	// ElGamal is randomized: same message, different ciphertexts.
+	g := Default()
+	kp, err := g.GenKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("same message")
+	ct1, err := g.Encrypt(nil, kp.PK, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := g.Encrypt(nil, kp.PK, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct1.C1.Cmp(ct2.C1) == 0 || bytes.Equal(ct1.Data, ct2.Data) {
+		t.Fatal("encryption is deterministic; unlinkability would be broken")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	g := Default()
+	kp, err := g.GenKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(msg []byte) bool {
+		ct, err := g.Encrypt(nil, kp.PK, msg)
+		if err != nil {
+			return false
+		}
+		got, err := g.Decrypt(kp.SK, ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

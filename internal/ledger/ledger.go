@@ -1,0 +1,244 @@
+// Package ledger is a minimal on-chain substrate for Splicer: an
+// account-based blockchain carrying the operations the paper puts on-chain —
+// channel funding and closing, hub access deposits to the public pool, and
+// deposit confiscation when a malicious PCH is removed (§III-B). Blocks are
+// produced on demand; a transaction is final after ConfirmDepth blocks.
+package ledger
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AccountID identifies an on-chain account.
+type AccountID string
+
+// ChannelID identifies a funded payment channel on-chain.
+type ChannelID int
+
+// ConfirmDepth is the number of blocks after inclusion at which a
+// transaction is considered final.
+const ConfirmDepth = 6
+
+// TxKind enumerates on-chain operation types.
+type TxKind int
+
+// On-chain operation kinds.
+const (
+	TxTransfer TxKind = iota + 1
+	TxOpenChannel
+	TxCloseChannel
+	TxDeposit
+	TxSlash
+)
+
+// Tx is one on-chain transaction.
+type Tx struct {
+	Kind    TxKind
+	From    AccountID
+	To      AccountID
+	Amount  float64 // Transfer/Deposit/Slash value, or From-side funding
+	Amount2 float64 // To-side funding for OpenChannel
+	Channel ChannelID
+	Height  int64 // block height of inclusion (set by the ledger)
+}
+
+// channelState tracks a funded channel.
+type channelState struct {
+	a, b             AccountID
+	fundsA, fundsB   float64
+	open             bool
+	openedAt, closed int64
+}
+
+// Ledger is the chain state. It is not safe for concurrent use; the
+// simulator serializes access.
+type Ledger struct {
+	height   int64
+	balances map[AccountID]float64
+	channels map[ChannelID]*channelState
+	deposits map[AccountID]float64 // hub access deposits in the public pool
+	pool     float64               // confiscated funds
+	nextChan ChannelID
+	pending  []Tx
+	history  []Tx
+}
+
+// New creates an empty ledger at height 0.
+func New() *Ledger {
+	return &Ledger{
+		balances: map[AccountID]float64{},
+		channels: map[ChannelID]*channelState{},
+		deposits: map[AccountID]float64{},
+	}
+}
+
+// Height returns the current block height.
+func (l *Ledger) Height() int64 { return l.height }
+
+// Mint credits new funds to an account (test/bootstrap faucet).
+func (l *Ledger) Mint(acct AccountID, amount float64) error {
+	if amount <= 0 {
+		return fmt.Errorf("ledger: mint amount must be positive")
+	}
+	l.balances[acct] += amount
+	return nil
+}
+
+// Balance returns the on-chain balance of acct.
+func (l *Ledger) Balance(acct AccountID) float64 { return l.balances[acct] }
+
+// Deposit returns the hub access deposit currently pledged by acct.
+func (l *Ledger) Deposit(acct AccountID) float64 { return l.deposits[acct] }
+
+// ConfiscatedPool returns the total of slashed deposits.
+func (l *Ledger) ConfiscatedPool() float64 { return l.pool }
+
+// Submit queues a transaction for inclusion in the next block. Validity is
+// checked at inclusion time against the then-current state.
+func (l *Ledger) Submit(tx Tx) {
+	l.pending = append(l.pending, tx)
+}
+
+// ProduceBlock applies all pending transactions in submission order and
+// advances the height. It returns the included transactions and any
+// per-transaction rejection errors (rejected txs are dropped, as a real
+// chain would drop invalid transactions at validation).
+func (l *Ledger) ProduceBlock() (included []Tx, rejected []error) {
+	l.height++
+	for _, tx := range l.pending {
+		if err := l.apply(&tx); err != nil {
+			rejected = append(rejected, fmt.Errorf("ledger: height %d: %w", l.height, err))
+			continue
+		}
+		tx.Height = l.height
+		l.history = append(l.history, tx)
+		included = append(included, tx)
+	}
+	l.pending = nil
+	return included, rejected
+}
+
+func (l *Ledger) apply(tx *Tx) error {
+	switch tx.Kind {
+	case TxTransfer:
+		if tx.Amount <= 0 {
+			return fmt.Errorf("transfer amount must be positive")
+		}
+		if l.balances[tx.From] < tx.Amount {
+			return fmt.Errorf("insufficient balance: %s has %v, needs %v", tx.From, l.balances[tx.From], tx.Amount)
+		}
+		l.balances[tx.From] -= tx.Amount
+		l.balances[tx.To] += tx.Amount
+	case TxOpenChannel:
+		if tx.Amount < 0 || tx.Amount2 < 0 || tx.Amount+tx.Amount2 <= 0 {
+			return fmt.Errorf("channel funding must be positive")
+		}
+		if l.balances[tx.From] < tx.Amount {
+			return fmt.Errorf("insufficient funding balance for %s", tx.From)
+		}
+		if l.balances[tx.To] < tx.Amount2 {
+			return fmt.Errorf("insufficient funding balance for %s", tx.To)
+		}
+		l.balances[tx.From] -= tx.Amount
+		l.balances[tx.To] -= tx.Amount2
+		id := l.nextChan
+		l.nextChan++
+		l.channels[id] = &channelState{
+			a: tx.From, b: tx.To,
+			fundsA: tx.Amount, fundsB: tx.Amount2,
+			open: true, openedAt: l.height,
+		}
+		tx.Channel = id
+	case TxCloseChannel:
+		ch, ok := l.channels[tx.Channel]
+		if !ok || !ch.open {
+			return fmt.Errorf("channel %d not open", tx.Channel)
+		}
+		if tx.From != ch.a && tx.From != ch.b {
+			return fmt.Errorf("%s is not a party to channel %d", tx.From, tx.Channel)
+		}
+		// Amount / Amount2 carry the final settled split; they must
+		// conserve the channel's total funds.
+		total := ch.fundsA + ch.fundsB
+		if diff := tx.Amount + tx.Amount2 - total; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("close split %v+%v does not conserve channel total %v", tx.Amount, tx.Amount2, total)
+		}
+		ch.open = false
+		ch.closed = l.height
+		l.balances[ch.a] += tx.Amount
+		l.balances[ch.b] += tx.Amount2
+	case TxDeposit:
+		if tx.Amount <= 0 {
+			return fmt.Errorf("deposit must be positive")
+		}
+		if l.balances[tx.From] < tx.Amount {
+			return fmt.Errorf("insufficient balance for deposit")
+		}
+		l.balances[tx.From] -= tx.Amount
+		l.deposits[tx.From] += tx.Amount
+	case TxSlash:
+		// Confiscate the target's entire deposit into the public pool
+		// (the punishment for malicious PCHs; "the loss is greater than
+		// the profit").
+		d := l.deposits[tx.To]
+		if d <= 0 {
+			return fmt.Errorf("no deposit to slash for %s", tx.To)
+		}
+		l.deposits[tx.To] = 0
+		l.pool += d
+	default:
+		return fmt.Errorf("unknown tx kind %d", tx.Kind)
+	}
+	return nil
+}
+
+// Channel returns the channel's parties, per-side funds and open state.
+func (l *Ledger) Channel(id ChannelID) (a, b AccountID, fundsA, fundsB float64, open bool, err error) {
+	ch, ok := l.channels[id]
+	if !ok {
+		return "", "", 0, 0, false, fmt.Errorf("ledger: unknown channel %d", id)
+	}
+	return ch.a, ch.b, ch.fundsA, ch.fundsB, ch.open, nil
+}
+
+// Confirmed reports whether a transaction included at the given height is
+// final at the current height.
+func (l *Ledger) Confirmed(inclusionHeight int64) bool {
+	return l.height-inclusionHeight >= ConfirmDepth
+}
+
+// TotalSupply sums balances, channel funds, deposits and the confiscated
+// pool — conserved across all operations except Mint.
+func (l *Ledger) TotalSupply() float64 {
+	total := l.pool
+	for _, b := range l.balances {
+		total += b
+	}
+	for _, ch := range l.channels {
+		if ch.open {
+			total += ch.fundsA + ch.fundsB
+		}
+	}
+	for _, d := range l.deposits {
+		total += d
+	}
+	return total
+}
+
+// History returns the confirmed transactions in inclusion order.
+func (l *Ledger) History() []Tx {
+	return append([]Tx(nil), l.history...)
+}
+
+// OpenChannels lists ids of currently open channels in ascending order.
+func (l *Ledger) OpenChannels() []ChannelID {
+	var ids []ChannelID
+	for id, ch := range l.channels {
+		if ch.open {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,242 @@
+package ledger
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/splicer-pcn/splicer/internal/rng"
+)
+
+func mint(t *testing.T, l *Ledger, acct AccountID, amt float64) {
+	t.Helper()
+	if err := l.Mint(acct, amt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func produceOK(t *testing.T, l *Ledger) []Tx {
+	t.Helper()
+	inc, rej := l.ProduceBlock()
+	if len(rej) != 0 {
+		t.Fatalf("rejected: %v", rej)
+	}
+	return inc
+}
+
+func TestMintAndTransfer(t *testing.T) {
+	l := New()
+	mint(t, l, "alice", 100)
+	l.Submit(Tx{Kind: TxTransfer, From: "alice", To: "bob", Amount: 30})
+	produceOK(t, l)
+	if l.Balance("alice") != 70 || l.Balance("bob") != 30 {
+		t.Fatalf("balances: alice=%v bob=%v", l.Balance("alice"), l.Balance("bob"))
+	}
+	if l.Height() != 1 {
+		t.Fatalf("height = %d", l.Height())
+	}
+}
+
+func TestMintValidation(t *testing.T) {
+	l := New()
+	if err := l.Mint("x", 0); err == nil {
+		t.Fatal("expected error for zero mint")
+	}
+}
+
+func TestOverdraftRejected(t *testing.T) {
+	l := New()
+	mint(t, l, "alice", 10)
+	l.Submit(Tx{Kind: TxTransfer, From: "alice", To: "bob", Amount: 30})
+	inc, rej := l.ProduceBlock()
+	if len(inc) != 0 || len(rej) != 1 {
+		t.Fatalf("included=%d rejected=%d", len(inc), len(rej))
+	}
+	if l.Balance("alice") != 10 {
+		t.Fatal("rejected tx mutated state")
+	}
+}
+
+func TestChannelLifecycle(t *testing.T) {
+	l := New()
+	mint(t, l, "alice", 100)
+	mint(t, l, "bob", 100)
+	l.Submit(Tx{Kind: TxOpenChannel, From: "alice", To: "bob", Amount: 40, Amount2: 60})
+	inc := produceOK(t, l)
+	id := inc[0].Channel
+	a, b, fa, fb, open, err := l.Channel(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != "alice" || b != "bob" || fa != 40 || fb != 60 || !open {
+		t.Fatalf("channel: %v %v %v %v %v", a, b, fa, fb, open)
+	}
+	if l.Balance("alice") != 60 || l.Balance("bob") != 40 {
+		t.Fatal("funding not debited")
+	}
+	// Close with a different split (off-chain payments moved 10 a→b).
+	l.Submit(Tx{Kind: TxCloseChannel, From: "alice", Channel: id, Amount: 30, Amount2: 70})
+	produceOK(t, l)
+	if l.Balance("alice") != 90 || l.Balance("bob") != 110 {
+		t.Fatalf("post-close balances: %v %v", l.Balance("alice"), l.Balance("bob"))
+	}
+	if ids := l.OpenChannels(); len(ids) != 0 {
+		t.Fatalf("open channels after close: %v", ids)
+	}
+}
+
+func TestCloseValidation(t *testing.T) {
+	l := New()
+	mint(t, l, "a", 50)
+	mint(t, l, "b", 50)
+	l.Submit(Tx{Kind: TxOpenChannel, From: "a", To: "b", Amount: 20, Amount2: 20})
+	inc := produceOK(t, l)
+	id := inc[0].Channel
+
+	// Non-party close.
+	l.Submit(Tx{Kind: TxCloseChannel, From: "mallory", Channel: id, Amount: 20, Amount2: 20})
+	if _, rej := l.ProduceBlock(); len(rej) != 1 {
+		t.Fatal("non-party close accepted")
+	}
+	// Non-conserving split.
+	l.Submit(Tx{Kind: TxCloseChannel, From: "a", Channel: id, Amount: 100, Amount2: 100})
+	if _, rej := l.ProduceBlock(); len(rej) != 1 {
+		t.Fatal("inflationary close accepted")
+	}
+	// Unknown channel.
+	l.Submit(Tx{Kind: TxCloseChannel, From: "a", Channel: 999, Amount: 0, Amount2: 0})
+	if _, rej := l.ProduceBlock(); len(rej) != 1 {
+		t.Fatal("unknown channel close accepted")
+	}
+	// Proper close, then double close.
+	l.Submit(Tx{Kind: TxCloseChannel, From: "a", Channel: id, Amount: 20, Amount2: 20})
+	produceOK(t, l)
+	l.Submit(Tx{Kind: TxCloseChannel, From: "a", Channel: id, Amount: 20, Amount2: 20})
+	if _, rej := l.ProduceBlock(); len(rej) != 1 {
+		t.Fatal("double close accepted")
+	}
+}
+
+func TestDepositAndSlash(t *testing.T) {
+	l := New()
+	mint(t, l, "hub", 500)
+	l.Submit(Tx{Kind: TxDeposit, From: "hub", Amount: 200})
+	produceOK(t, l)
+	if l.Deposit("hub") != 200 || l.Balance("hub") != 300 {
+		t.Fatalf("deposit=%v balance=%v", l.Deposit("hub"), l.Balance("hub"))
+	}
+	l.Submit(Tx{Kind: TxSlash, To: "hub"})
+	produceOK(t, l)
+	if l.Deposit("hub") != 0 || l.ConfiscatedPool() != 200 {
+		t.Fatalf("slash failed: deposit=%v pool=%v", l.Deposit("hub"), l.ConfiscatedPool())
+	}
+	// Slash with no deposit rejected.
+	l.Submit(Tx{Kind: TxSlash, To: "hub"})
+	if _, rej := l.ProduceBlock(); len(rej) != 1 {
+		t.Fatal("empty slash accepted")
+	}
+}
+
+func TestConfirmationDepth(t *testing.T) {
+	l := New()
+	mint(t, l, "a", 10)
+	l.Submit(Tx{Kind: TxTransfer, From: "a", To: "b", Amount: 1})
+	inc := produceOK(t, l)
+	h := inc[0].Height
+	if l.Confirmed(h) {
+		t.Fatal("confirmed immediately")
+	}
+	for i := 0; i < ConfirmDepth; i++ {
+		produceOK(t, l)
+	}
+	if !l.Confirmed(h) {
+		t.Fatal("not confirmed after ConfirmDepth blocks")
+	}
+}
+
+func TestTotalSupplyConservation(t *testing.T) {
+	l := New()
+	mint(t, l, "a", 1000)
+	mint(t, l, "b", 1000)
+	start := l.TotalSupply()
+	l.Submit(Tx{Kind: TxTransfer, From: "a", To: "b", Amount: 100})
+	l.Submit(Tx{Kind: TxOpenChannel, From: "a", To: "b", Amount: 200, Amount2: 300})
+	l.Submit(Tx{Kind: TxDeposit, From: "b", Amount: 150})
+	produceOK(t, l)
+	l.Submit(Tx{Kind: TxSlash, To: "b"})
+	produceOK(t, l)
+	if math.Abs(l.TotalSupply()-start) > 1e-9 {
+		t.Fatalf("supply changed: %v -> %v", start, l.TotalSupply())
+	}
+}
+
+func TestPropertySupplyConserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		l := New()
+		accounts := []AccountID{"a", "b", "c", "d"}
+		for _, a := range accounts {
+			if err := l.Mint(a, 1000); err != nil {
+				return false
+			}
+		}
+		start := l.TotalSupply()
+		var openIDs []ChannelID
+		for step := 0; step < 30; step++ {
+			from := accounts[src.IntN(len(accounts))]
+			to := accounts[src.IntN(len(accounts))]
+			switch src.IntN(5) {
+			case 0:
+				l.Submit(Tx{Kind: TxTransfer, From: from, To: to, Amount: float64(src.IntN(200) + 1)})
+			case 1:
+				l.Submit(Tx{Kind: TxOpenChannel, From: from, To: to,
+					Amount: float64(src.IntN(100) + 1), Amount2: float64(src.IntN(100) + 1)})
+			case 2:
+				if len(openIDs) > 0 {
+					id := openIDs[src.IntN(len(openIDs))]
+					a, _, fa, fb, open, err := l.Channel(id)
+					if err == nil && open {
+						l.Submit(Tx{Kind: TxCloseChannel, From: a, Channel: id, Amount: fa + fb, Amount2: 0})
+					}
+				}
+			case 3:
+				l.Submit(Tx{Kind: TxDeposit, From: from, Amount: float64(src.IntN(100) + 1)})
+			case 4:
+				l.Submit(Tx{Kind: TxSlash, To: to})
+			}
+			inc, _ := l.ProduceBlock()
+			for _, tx := range inc {
+				if tx.Kind == TxOpenChannel {
+					openIDs = append(openIDs, tx.Channel)
+				}
+			}
+			if math.Abs(l.TotalSupply()-start) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryOrder(t *testing.T) {
+	l := New()
+	mint(t, l, "a", 100)
+	l.Submit(Tx{Kind: TxTransfer, From: "a", To: "b", Amount: 1})
+	l.Submit(Tx{Kind: TxTransfer, From: "a", To: "b", Amount: 2})
+	produceOK(t, l)
+	h := l.History()
+	if len(h) != 2 || h[0].Amount != 1 || h[1].Amount != 2 {
+		t.Fatalf("history: %+v", h)
+	}
+}
+
+func TestUnknownTxKind(t *testing.T) {
+	l := New()
+	l.Submit(Tx{Kind: TxKind(99)})
+	if _, rej := l.ProduceBlock(); len(rej) != 1 {
+		t.Fatal("unknown kind accepted")
+	}
+}

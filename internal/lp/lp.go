@@ -1,0 +1,396 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs. It is the substrate under internal/milp, which the paper's
+// small-scale optimal PCH placement (a MILP, §IV-C) is solved with — the
+// authors use a commercial solver; this is the from-scratch replacement.
+//
+// Problems are stated over variables x >= 0 with constraints
+// a·x {<=,=,>=} b and a linear objective. The solver uses Bland's rule, so
+// it cannot cycle; instances in this codebase are small (hundreds of rows),
+// where the dense tableau is simple and fast enough.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota + 1 // a·x <= b
+	GE               // a·x >= b
+	EQ               // a·x == b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Constraint is a single linear constraint with sparse coefficients.
+type Constraint struct {
+	Coeffs map[int]float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a linear program over n variables x_0..x_{n-1}, all
+// constrained to x >= 0.
+type Problem struct {
+	n           int
+	objective   []float64
+	maximize    bool
+	constraints []Constraint
+}
+
+// NewProblem creates a minimization problem with n non-negative variables
+// and a zero objective.
+func NewProblem(n int) *Problem {
+	return &Problem{n: n, objective: make([]float64, n)}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// SetObjectiveCoeff sets the objective coefficient of variable i.
+func (p *Problem) SetObjectiveCoeff(i int, c float64) {
+	p.objective[i] = c
+}
+
+// SetMaximize switches the problem to maximization (default: minimize).
+func (p *Problem) SetMaximize(maximize bool) { p.maximize = maximize }
+
+// AddConstraint appends a constraint. Coefficients are copied.
+func (p *Problem) AddConstraint(coeffs map[int]float64, op Op, rhs float64) error {
+	if op != LE && op != GE && op != EQ {
+		return fmt.Errorf("lp: invalid op %v", op)
+	}
+	cp := make(map[int]float64, len(coeffs))
+	for i, c := range coeffs {
+		if i < 0 || i >= p.n {
+			return fmt.Errorf("lp: variable %d out of range [0,%d)", i, p.n)
+		}
+		if c != 0 {
+			cp[i] = c
+		}
+	}
+	p.constraints = append(p.constraints, Constraint{Coeffs: cp, Op: op, RHS: rhs})
+	return nil
+}
+
+// Clone deep-copies the problem, so branch-and-bound can add bound
+// constraints per node without interference.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		n:           p.n,
+		objective:   append([]float64(nil), p.objective...),
+		maximize:    p.maximize,
+		constraints: make([]Constraint, len(p.constraints)),
+	}
+	for i, con := range p.constraints {
+		cc := make(map[int]float64, len(con.Coeffs))
+		for k, v := range con.Coeffs {
+			cc[k] = v
+		}
+		c.constraints[i] = Constraint{Coeffs: cc, Op: con.Op, RHS: con.RHS}
+	}
+	return c
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution holds the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Solve runs the two-phase simplex and returns the solution. The returned
+// error is non-nil only for malformed problems; infeasibility and
+// unboundedness are reported through Solution.Status.
+func (p *Problem) Solve() (Solution, error) {
+	if p.n == 0 {
+		return Solution{Status: Optimal, X: nil, Objective: 0}, nil
+	}
+	obj := append([]float64(nil), p.objective...)
+	if p.maximize {
+		for i := range obj {
+			obj[i] = -obj[i]
+		}
+	}
+
+	m := len(p.constraints)
+	// Column layout: [structural (n)] [slack/surplus (m, some unused)] [artificial (m, some unused)].
+	// We build exactly one slack or surplus per inequality and one
+	// artificial where needed.
+	var (
+		nCols    = p.n
+		slackCol = make([]int, m) // -1 when none
+		artCol   = make([]int, m) // -1 when none
+	)
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	ops := make([]Op, m)
+	for i, con := range p.constraints {
+		slackCol[i], artCol[i] = -1, -1
+		row := make([]float64, p.n)
+		for j, c := range con.Coeffs {
+			row[j] = c
+		}
+		b := con.RHS
+		op := con.Op
+		if b < 0 { // normalize RHS >= 0
+			for j := range row {
+				row[j] = -row[j]
+			}
+			b = -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = row
+		rhs[i] = b
+		switch op {
+		case LE:
+			slackCol[i] = nCols
+			nCols++
+		case GE:
+			slackCol[i] = nCols // surplus (coefficient -1)
+			nCols++
+			artCol[i] = nCols
+			nCols++
+		case EQ:
+			artCol[i] = nCols
+			nCols++
+		}
+		ops[i] = op
+	}
+
+	// Dense tableau: m rows, nCols columns, plus RHS column.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, nCols+1)
+		copy(t[i], rows[i])
+		t[i][nCols] = rhs[i]
+		switch {
+		case ops[i] == LE:
+			t[i][slackCol[i]] = 1
+			basis[i] = slackCol[i]
+		case ops[i] == GE:
+			t[i][slackCol[i]] = -1
+			t[i][artCol[i]] = 1
+			basis[i] = artCol[i]
+		default: // EQ
+			t[i][artCol[i]] = 1
+			basis[i] = artCol[i]
+		}
+	}
+
+	isArtificial := func(col int) bool {
+		for i := 0; i < m; i++ {
+			if artCol[i] == col {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	needPhase1 := false
+	for i := 0; i < m; i++ {
+		if artCol[i] >= 0 {
+			needPhase1 = true
+			break
+		}
+	}
+	if needPhase1 {
+		cost := make([]float64, nCols)
+		for i := 0; i < m; i++ {
+			if artCol[i] >= 0 {
+				cost[artCol[i]] = 1
+			}
+		}
+		status := simplex(t, basis, cost, nCols)
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by 0; cannot happen for a
+			// well-formed tableau.
+			return Solution{}, fmt.Errorf("lp: phase 1 reported unbounded")
+		}
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			if isArtificial(basis[i]) {
+				sum += t[i][nCols]
+			}
+		}
+		if sum > 1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Pivot remaining artificials out of the basis where possible;
+		// rows that cannot pivot out are redundant (all-zero) rows.
+		for i := 0; i < m; i++ {
+			if !isArtificial(basis[i]) {
+				continue
+			}
+			for j := 0; j < nCols; j++ {
+				if isArtificial(j) {
+					continue
+				}
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j, nCols)
+					break
+				}
+			}
+			// If no pivot column exists the row is redundant; leaving the
+			// zero-valued artificial basic is harmless.
+		}
+	}
+
+	// Phase 2: original objective. Block artificial columns by giving them
+	// a prohibitive cost and zeroing them (they are at value 0 and must
+	// stay out).
+	cost := make([]float64, nCols)
+	copy(cost, obj)
+	for j := p.n; j < nCols; j++ {
+		if isArtificial(j) {
+			// Exclude from entering: simplex() skips columns with cost
+			// marked NaN.
+			cost[j] = math.NaN()
+		}
+	}
+	status := simplex(t, basis, cost, nCols)
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, p.n)
+	for i := 0; i < m; i++ {
+		if basis[i] < p.n {
+			x[basis[i]] = t[i][nCols]
+		}
+	}
+	objVal := 0.0
+	for i := range x {
+		objVal += p.objective[i] * x[i]
+	}
+	return Solution{Status: Optimal, X: x, Objective: objVal}, nil
+}
+
+// simplex runs primal simplex iterations on tableau t with the given basis
+// and cost vector until optimality or unboundedness. Columns whose cost is
+// NaN are barred from entering the basis. It uses Bland's rule.
+func simplex(t [][]float64, basis []int, cost []float64, nCols int) Status {
+	m := len(t)
+	// Reduced costs are computed directly each iteration:
+	// r_j = c_j - sum_i c_{basis[i]} * t[i][j]. With Bland's rule this is
+	// O(m·n) per iteration, acceptable at this scale.
+	cb := func(i int) float64 {
+		c := cost[basis[i]]
+		if math.IsNaN(c) {
+			return 0 // artificial stuck in a redundant row contributes 0
+		}
+		return c
+	}
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			// Bland's rule guarantees termination; this is a final backstop
+			// against numerical stalls.
+			return Optimal
+		}
+		enter := -1
+		for j := 0; j < nCols; j++ {
+			if math.IsNaN(cost[j]) {
+				continue
+			}
+			r := cost[j]
+			for i := 0; i < m; i++ {
+				r -= cb(i) * t[i][j]
+			}
+			if r < -1e-8 {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test, Bland: smallest basis index among ties.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][nCols] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		pivot(t, basis, leave, enter, nCols)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot making column `col` basic in row `row`.
+func pivot(t [][]float64, basis []int, row, col, nCols int) {
+	pr := t[row]
+	pv := pr[col]
+	for j := 0; j <= nCols; j++ {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= nCols; j++ {
+			t[i][j] -= f * pr[j]
+		}
+	}
+	basis[row] = col
+}

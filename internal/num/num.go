@@ -1,0 +1,236 @@
+// Package num solves the fluid-limit network utility maximization problem
+// that Splicer's routing protocol approximates online (§IV-D, eqs. 16-20):
+//
+//	max  Σ_{s,e} log(Σ_{p∈P_se} r_p)
+//	s.t. Σ_p r_p·Δ ≤ d_se                    (demand,   eq. 17)
+//	     r_ab + r_ba ≤ c_ab/Δ                (capacity, eq. 18)
+//	     |r_ab − r_ba| ≤ ε                   (balance,  eq. 19)
+//	     r_p ≥ 0                             (eq. 20)
+//
+// via the same primal-dual dynamics the protocol runs: capacity prices λ
+// and imbalance prices μ ascend on constraint violation (eqs. 21-22), path
+// rates follow r += α(U'(r) − ϱ_p) with ϱ_p the summed path price (eqs.
+// 23, 25-26). The offline solver gives the benchmark rates the online
+// protocol should track, and makes the paper's deadlock-freedom argument
+// checkable: with a tight balance constraint, one-directional demand is
+// throttled to ε while adding counterflow demand raises the achievable
+// rate — funds keep circulating instead of piling up at one end.
+package num
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+)
+
+// Commodity is one source-destination pair with its candidate paths and
+// demand bound.
+type Commodity struct {
+	Source graph.NodeID
+	Dest   graph.NodeID
+	Paths  []graph.Path
+	// Demand bounds Σ r_p·Δ (tokens outstanding); ≤ 0 means unbounded.
+	Demand float64
+}
+
+// Problem is a fluid NUM instance.
+type Problem struct {
+	Graph *graph.Graph
+	// Delta is the average acknowledgment delay Δ: r·Δ funds are locked
+	// per unit rate.
+	Delta float64
+	// Epsilon is the balance slack ε of eq. 19.
+	Epsilon     float64
+	Commodities []Commodity
+}
+
+// Options tunes the primal-dual iteration.
+type Options struct {
+	Iterations int     // default 4000
+	Alpha      float64 // rate step (default 0.05)
+	Kappa      float64 // capacity price step (default 0.05)
+	Eta        float64 // imbalance price step (default 0.05)
+}
+
+func (o *Options) fill() {
+	if o.Iterations <= 0 {
+		o.Iterations = 4000
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.Kappa <= 0 {
+		o.Kappa = 0.05
+	}
+	if o.Eta <= 0 {
+		o.Eta = 0.05
+	}
+}
+
+// Solution holds the converged rates.
+type Solution struct {
+	// Rates[i][j] is the rate of commodity i's path j.
+	Rates [][]float64
+	// Utility is Σ log(Σ_p r_p).
+	Utility float64
+	// MaxCapacityViolation and MaxBalanceViolation report residual
+	// infeasibility (≈0 at convergence).
+	MaxCapacityViolation float64
+	MaxBalanceViolation  float64
+}
+
+// TotalRate returns commodity i's aggregate rate.
+func (s Solution) TotalRate(i int) float64 {
+	total := 0.0
+	for _, r := range s.Rates[i] {
+		total += r
+	}
+	return total
+}
+
+// Solve runs the primal-dual dynamics to (approximate) convergence.
+func Solve(p Problem, opts Options) (Solution, error) {
+	if p.Graph == nil {
+		return Solution{}, fmt.Errorf("num: nil graph")
+	}
+	if p.Delta <= 0 {
+		return Solution{}, fmt.Errorf("num: Delta must be positive")
+	}
+	if p.Epsilon < 0 {
+		return Solution{}, fmt.Errorf("num: Epsilon must be >= 0")
+	}
+	if len(p.Commodities) == 0 {
+		return Solution{}, fmt.Errorf("num: no commodities")
+	}
+	for i, c := range p.Commodities {
+		if len(c.Paths) == 0 {
+			return Solution{}, fmt.Errorf("num: commodity %d has no paths", i)
+		}
+		for _, path := range c.Paths {
+			if !path.Valid(p.Graph) {
+				return Solution{}, fmt.Errorf("num: commodity %d has an invalid path", i)
+			}
+		}
+	}
+	opts.fill()
+
+	nEdges := p.Graph.NumEdges()
+	lambda := make([]float64, nEdges) // capacity price per channel
+	mu := make([][2]float64, nEdges)  // imbalance price per direction
+	rates := make([][]float64, len(p.Commodities))
+	for i, c := range p.Commodities {
+		rates[i] = make([]float64, len(c.Paths))
+		for j := range rates[i] {
+			rates[i][j] = 0.1 // small positive start so U' is finite
+		}
+	}
+
+	// dirOf returns 0 for U→V traversal, 1 for V→U.
+	dirOf := func(eid graph.EdgeID, from graph.NodeID) int {
+		if p.Graph.Edge(eid).U == from {
+			return 0
+		}
+		return 1
+	}
+
+	load := make([][2]float64, nEdges)
+	for iter := 0; iter < opts.Iterations; iter++ {
+		// Directional loads from current rates.
+		for e := range load {
+			load[e] = [2]float64{}
+		}
+		for i, c := range p.Commodities {
+			for j, path := range c.Paths {
+				r := rates[i][j]
+				for h, eid := range path.Edges {
+					load[eid][dirOf(eid, path.Nodes[h])] += r
+				}
+			}
+		}
+		// Dual ascent (eqs. 21-22 in fluid form).
+		for e := 0; e < nEdges; e++ {
+			edge := p.Graph.Edge(graph.EdgeID(e))
+			capRate := (edge.CapFwd + edge.CapRev) / p.Delta
+			lambda[e] += opts.Kappa * (load[e][0] + load[e][1] - capRate)
+			if lambda[e] < 0 {
+				lambda[e] = 0
+			}
+			diff := load[e][0] - load[e][1]
+			mu[e][0] += opts.Eta * (diff - p.Epsilon)
+			if mu[e][0] < 0 {
+				mu[e][0] = 0
+			}
+			mu[e][1] += opts.Eta * (-diff - p.Epsilon)
+			if mu[e][1] < 0 {
+				mu[e][1] = 0
+			}
+		}
+		// Primal update (eqs. 23, 25-26).
+		for i, c := range p.Commodities {
+			total := 0.0
+			for _, r := range rates[i] {
+				total += r
+			}
+			uPrime := 1.0
+			if total > 0 {
+				uPrime = 1 / total
+			}
+			for j, path := range c.Paths {
+				price := 0.0
+				for h, eid := range path.Edges {
+					d := dirOf(eid, path.Nodes[h])
+					price += 2*lambda[eid] + mu[eid][d] - mu[eid][1-d]
+				}
+				rates[i][j] += opts.Alpha * (uPrime - price)
+				if rates[i][j] < 0 {
+					rates[i][j] = 0
+				}
+			}
+			// Project onto the demand constraint Σ r·Δ ≤ d.
+			if c.Demand > 0 {
+				total = 0
+				for _, r := range rates[i] {
+					total += r
+				}
+				if lim := c.Demand / p.Delta; total > lim {
+					scale := lim / total
+					for j := range rates[i] {
+						rates[i][j] *= scale
+					}
+				}
+			}
+		}
+	}
+
+	sol := Solution{Rates: rates}
+	for i := range p.Commodities {
+		if t := sol.TotalRate(i); t > 0 {
+			sol.Utility += math.Log(t)
+		} else {
+			sol.Utility = math.Inf(-1)
+		}
+	}
+	// Residual violations.
+	for e := range load {
+		load[e] = [2]float64{}
+	}
+	for i, c := range p.Commodities {
+		for j, path := range c.Paths {
+			for h, eid := range path.Edges {
+				load[eid][dirOf(eid, path.Nodes[h])] += rates[i][j]
+			}
+		}
+	}
+	for e := 0; e < nEdges; e++ {
+		edge := p.Graph.Edge(graph.EdgeID(e))
+		capRate := (edge.CapFwd + edge.CapRev) / p.Delta
+		if v := load[e][0] + load[e][1] - capRate; v > sol.MaxCapacityViolation {
+			sol.MaxCapacityViolation = v
+		}
+		if v := math.Abs(load[e][0]-load[e][1]) - p.Epsilon; v > sol.MaxBalanceViolation {
+			sol.MaxBalanceViolation = v
+		}
+	}
+	return sol, nil
+}

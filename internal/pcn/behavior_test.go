@@ -1,0 +1,190 @@
+package pcn
+
+import (
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/routing"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// TestA2LTauSensitivity checks the Fig. 7(c)/8(c) mechanism: A2L's
+// epoch-batched tumbler protocol makes its TSR degrade as the update time
+// grows, unlike Splicer.
+func TestA2LTauSensitivity(t *testing.T) {
+	g, trace := testGraphAndTrace(t, 91, 60, 60, 5)
+	run := func(tau float64) Result {
+		cfg := NewConfig(SchemeA2L)
+		cfg.UpdateTau = tau
+		n, err := NewNetwork(g.Clone(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(0.1)
+	slow := run(1.0)
+	t.Logf("A2L TSR: tau=100ms %.3f, tau=1000ms %.3f", fast.TSR, slow.TSR)
+	if slow.TSR > fast.TSR+0.01 {
+		t.Fatalf("A2L improved with larger tau: %.3f -> %.3f", fast.TSR, slow.TSR)
+	}
+}
+
+// TestSplicerTauStability checks the paper's claim that Splicer's TSR stays
+// high as the update time grows.
+func TestSplicerTauStability(t *testing.T) {
+	g, trace := testGraphAndTrace(t, 93, 60, 60, 5)
+	for _, tau := range []float64{0.2, 1.0} {
+		cfg := NewConfig(SchemeSplicer)
+		cfg.UpdateTau = tau
+		n, err := NewNetwork(g.Clone(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TSR < 0.8 {
+			t.Fatalf("Splicer TSR %.3f at tau=%v below 0.8", res.TSR, tau)
+		}
+	}
+}
+
+// TestFlashElephantMultiPath crafts a payment too large for any single
+// path's bottleneck but coverable by the max-flow: Flash must complete it.
+func TestFlashElephantMultiPath(t *testing.T) {
+	// Diamond with two 30-capacity routes: a 50-token elephant needs both.
+	g := graph.New(4)
+	mk := func(u, v graph.NodeID) {
+		if _, err := g.AddEdge(u, v, 30, 30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk(0, 1)
+	mk(1, 3)
+	mk(0, 2)
+	mk(2, 3)
+	cfg := NewConfig(SchemeFlash)
+	n, err := NewNetwork(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []workload.Tx{{
+		ID: 0, Sender: 0, Recipient: 3, Value: 50, Arrival: 0.1, Deadline: 3.1,
+	}}
+	res, err := n.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("elephant not completed: %+v", res)
+	}
+}
+
+// TestSingleShortestPathCannotCarryElephant is the contrast case: the naive
+// baseline fails the same payment because no single path carries it.
+func TestSingleShortestPathCannotCarryElephant(t *testing.T) {
+	g := graph.New(4)
+	mk := func(u, v graph.NodeID) {
+		if _, err := g.AddEdge(u, v, 30, 30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk(0, 1)
+	mk(1, 3)
+	mk(0, 2)
+	mk(2, 3)
+	n, err := NewNetwork(g, NewConfig(SchemeShortestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []workload.Tx{{
+		ID: 0, Sender: 0, Recipient: 3, Value: 50, Arrival: 0.1, Deadline: 3.1,
+	}}
+	res, err := n.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatal("naive single-path routing carried a payment above every bottleneck")
+	}
+}
+
+// TestSplicerLargePaymentViaTUs shows the paper's "support large
+// transactions" property: Splicer splits the same elephant into TUs over
+// multiple paths and completes it where the naive scheme cannot.
+func TestSplicerLargePaymentViaTUs(t *testing.T) {
+	g := graph.New(4)
+	mk := func(u, v graph.NodeID) {
+		if _, err := g.AddEdge(u, v, 30, 30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk(0, 1)
+	mk(1, 3)
+	mk(0, 2)
+	mk(2, 3)
+	cfg := NewConfig(SchemeSplicer)
+	cfg.Hubs = []graph.NodeID{1, 2}
+	cfg.HubCapitalBoost = 1 // keep the crafted capacities meaningful
+	n, err := NewNetwork(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []workload.Tx{{
+		ID: 0, Sender: 0, Recipient: 3, Value: 50, Arrival: 0.1, Deadline: 3.1,
+	}}
+	res, err := n.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("Splicer failed the large payment: %+v", res)
+	}
+}
+
+// TestPathTypeConfigRespected ensures the Table II path-type knob reaches
+// the hub-to-hub path computation.
+func TestPathTypeConfigRespected(t *testing.T) {
+	g, trace := testGraphAndTrace(t, 95, 50, 30, 3)
+	for _, pt := range []routing.PathType{routing.KSP, routing.Heuristic, routing.EDW, routing.EDS} {
+		cfg := NewConfig(SchemeSplicer)
+		cfg.PathType = pt
+		n, err := NewNetwork(g.Clone(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Run(trace)
+		if err != nil {
+			t.Fatalf("%v: %v", pt, err)
+		}
+		if res.Completed == 0 {
+			t.Fatalf("%v: nothing completed", pt)
+		}
+	}
+}
+
+// TestFeesAccrueOnlyWithPrices verifies fee accounting: fees are the
+// T_fee-scaled routing prices, so they only accrue once prices move.
+func TestFeesAccrueOnlyWithPrices(t *testing.T) {
+	g, trace := testGraphAndTrace(t, 97, 50, 60, 5)
+	cfg := NewConfig(SchemeSplicer)
+	cfg.Kappa = 0
+	cfg.Eta = 0 // prices pinned at zero
+	n, err := NewNetwork(g.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFees != 0 {
+		t.Fatalf("fees %v accrued with zero price steps", res.TotalFees)
+	}
+}

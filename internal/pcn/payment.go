@@ -1,0 +1,533 @@
+package pcn
+
+import (
+	"math"
+	"sort"
+
+	"github.com/splicer-pcn/splicer/internal/channel"
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/htlc"
+	"github.com/splicer-pcn/splicer/internal/routing"
+	"github.com/splicer-pcn/splicer/internal/sim"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// txRun tracks one payment through its lifetime.
+type txRun struct {
+	tx        workload.Tx
+	pair      pairKey
+	paths     []graph.Path
+	remaining int // unresolved TUs
+	failed    bool
+	finished  bool
+	deadline  *sim.Event
+	// pending holds TUs waiting for window room (rate-controlled schemes).
+	pending []*tuRun
+	// live TUs for deadline unwinding.
+	live map[*tuRun]bool
+}
+
+// tuRun is one transaction-unit in flight.
+type tuRun struct {
+	id            uint64
+	tx            *txRun
+	pathIdx       int
+	path          graph.Path
+	value         float64
+	hop           int // next hop index to traverse
+	chain         []*htlc.Contract
+	lockedThrough int // number of hops currently locked
+	queued        *channel.QueuedTU
+	queuedAt      struct {
+		ch  *channel.Channel
+		dir channel.Direction
+	}
+	done bool
+}
+
+// onArrival is the entry point for a generated payment: it models the
+// route-computation service time (at the sender for source routing, at the
+// managing hub for Splicer/A2L) and then dispatches.
+func (n *Network) onArrival(tx workload.Tx) {
+	n.metrics.Add("tx_generated", 1)
+	owner, service := n.computeOwner(tx)
+	now := n.engine.Now()
+	free := n.cpuFree[owner]
+	if free < now {
+		free = now
+	}
+	if n.cfg.Scheme == SchemeA2L {
+		// The tumbler's puzzle-promise protocol runs in epochs aligned to
+		// the update interval: payments wait for the next epoch boundary
+		// before the crypto exchange starts. This is why A2L's TSR is the
+		// most sensitive to the update time in Figs. 7(c)/8(c).
+		tau := n.cfg.UpdateTau
+		epoch := math.Ceil(free/tau) * tau
+		if epoch > free {
+			free = epoch
+		}
+	}
+	start := free + service
+	n.cpuFree[owner] = start
+	if _, err := n.engine.Schedule(start, 2, func() { n.dispatch(tx) }); err != nil {
+		// Scheduling in the past is impossible here (start >= now).
+		panic(err)
+	}
+}
+
+// computeOwner returns the node whose (serialized) CPU performs the route
+// computation for this payment, and the service time.
+func (n *Network) computeOwner(tx workload.Tx) (graph.NodeID, float64) {
+	switch n.cfg.Scheme {
+	case SchemeSplicer:
+		hub := n.hubOf[tx.Sender]
+		if n.isHub[tx.Sender] {
+			hub = tx.Sender
+		}
+		return hub, n.cfg.HubComputeDelay
+	case SchemeA2L:
+		return n.hubs[0], n.cfg.A2LCryptoDelay
+	default:
+		// Source routing: the sender's own machine computes routes over the
+		// full topology; cost grows with network size.
+		return tx.Sender, n.cfg.SenderComputeDelayPerNode * float64(n.g.NumNodes())
+	}
+}
+
+// dispatch plans paths and TUs for the payment and starts sending.
+func (n *Network) dispatch(tx workload.Tx) {
+	if n.engine.Now() >= tx.Deadline {
+		// Route computation (sender CPU or hub crypto backlog) outlasted
+		// the payment timeout.
+		n.failTx(&txRun{tx: tx, live: map[*tuRun]bool{}}, "compute_backlog")
+		return
+	}
+	paths, allocs, err := n.planPayment(tx)
+	if err != nil || len(paths) == 0 || len(allocs) == 0 {
+		n.failTx(&txRun{tx: tx, live: map[*tuRun]bool{}}, "no_route")
+		return
+	}
+	run := &txRun{
+		tx:    tx,
+		pair:  pairKey{tx.Sender, tx.Recipient},
+		paths: paths,
+		live:  map[*tuRun]bool{},
+	}
+	n.txState[tx.ID] = run
+
+	rateControlled := n.splitsTUs()
+	if rateControlled {
+		if _, ok := n.rateCtl[run.pair]; !ok {
+			rc, rcErr := routing.NewRateController(len(paths), n.cfg.Alpha, n.cfg.Beta, n.cfg.Gamma, n.cfg.InitPathRate, n.cfg.InitWindow)
+			if rcErr != nil {
+				n.failTx(run, "controller")
+				return
+			}
+			n.rateCtl[run.pair] = rc
+		}
+	}
+
+	run.remaining = len(allocs)
+	for _, a := range allocs {
+		tu := &tuRun{
+			id:      n.nextTUID,
+			tx:      run,
+			pathIdx: a.pathIdx,
+			value:   a.value,
+		}
+		n.nextTUID++
+		if rateControlled {
+			run.pending = append(run.pending, tu)
+		} else {
+			tu.path = paths[tu.pathIdx]
+			n.startTU(tu)
+		}
+	}
+	if rateControlled {
+		n.drainPending(run)
+	}
+	// Deadline watchdog.
+	ev, err := n.engine.Schedule(tx.Deadline, 0, func() { n.onDeadline(run) })
+	if err != nil {
+		panic(err)
+	}
+	run.deadline = ev
+}
+
+// allocation is a planned (path, value) assignment for one TU.
+type allocation struct {
+	pathIdx int
+	value   float64
+}
+
+// drainPending dispatches waiting TUs of a payment while window room
+// exists.
+func (n *Network) drainPending(run *txRun) {
+	if run.failed {
+		return
+	}
+	rc := n.rateCtl[run.pair]
+	if rc == nil {
+		return
+	}
+	for len(run.pending) > 0 {
+		tu := run.pending[0]
+		i := rc.PickPath(tu.value)
+		if i < 0 {
+			return // every path window- or budget-blocked; retried on tick/ack
+		}
+		run.pending = run.pending[1:]
+		tu.pathIdx = i
+		tu.path = run.paths[i]
+		rc.OnSend(i, tu.value)
+		n.startTU(tu)
+	}
+}
+
+// startTU begins forwarding a TU from its source.
+func (n *Network) startTU(tu *tuRun) {
+	tu.tx.live[tu] = true
+	n.metrics.Add("tu_sent", 1)
+	n.advanceTU(tu)
+}
+
+// advanceTU attempts the TU's next hop, queuing or aborting on resource
+// exhaustion.
+func (n *Network) advanceTU(tu *tuRun) {
+	if tu.done {
+		return
+	}
+	now := n.engine.Now()
+	if now > tu.tx.tx.Deadline {
+		n.abortTU(tu, "deadline")
+		return
+	}
+	if tu.hop >= len(tu.path.Edges) {
+		n.completeTU(tu)
+		return
+	}
+	eid := tu.path.Edges[tu.hop]
+	from := tu.path.Nodes[tu.hop]
+	ch := n.chans[eid]
+	dir := ch.DirFrom(from)
+	ch.AddRequired(dir, tu.value)
+	if ch.CanForward(dir, tu.value) {
+		n.lockAndHop(tu, ch, dir)
+		return
+	}
+	if n.usesQueues() {
+		q := &channel.QueuedTU{
+			ID:       tu.id,
+			Value:    tu.value,
+			Deadline: tu.tx.tx.Deadline,
+			Enqueued: now,
+		}
+		q.Resume = func() { n.resumeQueued(tu, ch, dir) }
+		if err := ch.Enqueue(dir, q); err != nil {
+			n.abortTU(tu, "queue_full")
+			return
+		}
+		tu.queued = q
+		tu.queuedAt.ch = ch
+		tu.queuedAt.dir = dir
+		n.queuedIndex[q] = tu
+		n.metrics.Add("tu_queued", 1)
+		return
+	}
+	n.abortTU(tu, "no_funds")
+}
+
+// resumeQueued is called when a queued TU is dequeued for another attempt.
+func (n *Network) resumeQueued(tu *tuRun, ch *channel.Channel, dir channel.Direction) {
+	if tu.queued != nil {
+		n.metrics.Observe("queue_delay", n.engine.Now()-tu.queued.Enqueued)
+		delete(n.queuedIndex, tu.queued)
+	}
+	tu.queued = nil
+	tu.queuedAt.ch = nil
+	if tu.done || tu.tx.failed {
+		return
+	}
+	if ch.CanForward(dir, tu.value) {
+		n.lockAndHop(tu, ch, dir)
+	} else {
+		// Still blocked: go around again.
+		n.advanceTU(tu)
+	}
+}
+
+// lockAndHop locks the TU's value on the channel and schedules arrival at
+// the next node.
+func (n *Network) lockAndHop(tu *tuRun, ch *channel.Channel, dir channel.Direction) {
+	if err := ch.Lock(dir, tu.value); err != nil {
+		n.abortTU(tu, "lock_race")
+		return
+	}
+	pre := htlc.NewPreimage(tu.id)
+	contract, err := htlc.Offer(htlc.LockHash(pre), tu.value, tu.tx.tx.Deadline)
+	if err != nil {
+		panic(err) // value > 0 by construction
+	}
+	tu.chain = append(tu.chain, contract)
+	tu.lockedThrough++
+	tu.hop++
+	if _, err := n.engine.After(n.cfg.HopDelay, 3, func() { n.advanceTU(tu) }); err != nil {
+		panic(err)
+	}
+}
+
+// completeTU settles the TU end-to-end.
+func (n *Network) completeTU(tu *tuRun) {
+	if tu.done {
+		return
+	}
+	tu.done = true
+	delete(tu.tx.live, tu)
+	now := n.engine.Now()
+	pre := htlc.NewPreimage(tu.id)
+	// Settle HTLCs recipient-backwards, moving funds on each channel.
+	for i := tu.lockedThrough - 1; i >= 0; i-- {
+		if err := tu.chain[i].Settle(pre, now); err != nil {
+			// The deadline watchdog fires strictly at Deadline with higher
+			// priority, so an expired contract here means the TU raced it;
+			// treat as abort.
+			n.abortLockedHops(tu, i+1)
+			n.resolveTU(tu, false, "htlc_expired")
+			return
+		}
+		eid := tu.path.Edges[i]
+		from := tu.path.Nodes[i]
+		ch := n.chans[eid]
+		dir := ch.DirFrom(from)
+		if err := ch.Settle(dir, tu.value); err != nil {
+			panic(err) // locked funds are tracked exactly
+		}
+		n.metrics.Add("fees", ch.Fee(dir, n.cfg.TFee)*tu.value)
+		n.drainQueue(ch, dir.Reverse()) // reverse direction gained funds
+	}
+	n.resolveTU(tu, true, "")
+}
+
+// abortTU refunds a TU's locked hops and resolves it as failed.
+func (n *Network) abortTU(tu *tuRun, reason string) {
+	if tu.done {
+		return
+	}
+	tu.done = true
+	delete(tu.tx.live, tu)
+	if tu.queued != nil && tu.queuedAt.ch != nil {
+		tu.queuedAt.ch.RemoveQueued(tu.queuedAt.dir, tu.queued)
+		delete(n.queuedIndex, tu.queued)
+		tu.queued = nil
+	}
+	n.abortLockedHops(tu, tu.lockedThrough)
+	n.resolveTU(tu, false, reason)
+}
+
+// abortLockedHops refunds the first `through` locked hops.
+func (n *Network) abortLockedHops(tu *tuRun, through int) {
+	for i := 0; i < through && i < tu.lockedThrough; i++ {
+		if tu.chain[i].State() == htlc.Pending {
+			_ = tu.chain[i].Fail()
+		}
+		eid := tu.path.Edges[i]
+		from := tu.path.Nodes[i]
+		ch := n.chans[eid]
+		dir := ch.DirFrom(from)
+		if err := ch.Refund(dir, tu.value); err != nil {
+			panic(err)
+		}
+		n.drainQueue(ch, dir) // the forward direction regained funds
+	}
+	tu.lockedThrough = 0
+}
+
+// resolveTU updates rate control and the parent payment.
+func (n *Network) resolveTU(tu *tuRun, ok bool, reason string) {
+	run := tu.tx
+	if rc := n.rateCtl[run.pair]; rc != nil && tu.path.Len() > 0 {
+		if ok {
+			rc.OnSuccess(tu.pathIdx)
+		} else {
+			rc.OnAbort(tu.pathIdx)
+		}
+		n.drainPending(run)
+	}
+	run.remaining--
+	if ok {
+		n.metrics.Add("tu_completed", 1)
+	} else {
+		n.metrics.Add("tu_failed", 1)
+		n.metrics.Add("tu_failed_"+reason, 1)
+		if !run.failed {
+			run.failed = true
+			n.cancelTx(run)
+		}
+	}
+	if run.remaining == 0 {
+		n.finishTx(run)
+	}
+}
+
+// cancelTx aborts a payment's remaining TUs (queued or pending; in-flight
+// locked TUs unwind too).
+func (n *Network) cancelTx(run *txRun) {
+	run.pending = nil
+	// Copy and order by TU id: abortTU mutates run.live, and map iteration
+	// order must not leak into simulation behavior.
+	live := make([]*tuRun, 0, len(run.live))
+	for tu := range run.live {
+		live = append(live, tu)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	for _, tu := range live {
+		n.abortTU(tu, "sibling_failed")
+	}
+}
+
+// onDeadline fires at the payment's timeout.
+func (n *Network) onDeadline(run *txRun) {
+	if run.remaining <= 0 {
+		return
+	}
+	run.failed = true
+	// Pending TUs never occupied a window slot; they simply fail.
+	pendingCount := len(run.pending)
+	run.pending = nil
+	run.remaining -= pendingCount
+	n.metrics.Add("tu_failed", float64(pendingCount))
+	n.cancelTx(run)
+	if run.remaining <= 0 {
+		n.finishTx(run)
+	}
+}
+
+// finishTx records the payment outcome once every TU resolved. Idempotent:
+// the deadline watchdog and the last TU's resolution can both reach it.
+func (n *Network) finishTx(run *txRun) {
+	if run.finished {
+		return
+	}
+	run.finished = true
+	if run.deadline != nil {
+		run.deadline.Cancel()
+		run.deadline = nil
+	}
+	delete(n.txState, run.tx.ID)
+	now := n.engine.Now()
+	if !run.failed && now <= run.tx.Deadline+1e-9 {
+		n.metrics.Add("tx_completed", 1)
+		n.metrics.Add("value_completed", run.tx.Value)
+		n.metrics.Observe("tx_delay", now-run.tx.Arrival)
+	} else {
+		n.metrics.Add("tx_failed", 1)
+	}
+}
+
+// drainQueue serves a channel direction's waiting queue while funds and the
+// processing budget allow, in scheduler order.
+func (n *Network) drainQueue(ch *channel.Channel, dir channel.Direction) {
+	if !n.usesQueues() {
+		return
+	}
+	for ch.QueueLen(dir) > 0 {
+		// Peek via dequeue: if the chosen TU cannot be forwarded the queue
+		// stays blocked (head-of-line under the chosen discipline).
+		q := ch.Dequeue(dir, n.cfg.Scheduler)
+		if q == nil {
+			return
+		}
+		if q.Resume == nil {
+			continue
+		}
+		if !ch.CanForward(dir, q.Value) {
+			// Put it back and stop; re-enqueue preserves Enqueued time.
+			if err := ch.Enqueue(dir, q); err != nil {
+				// Queue shrank since we dequeued, so re-adding cannot
+				// overflow; be defensive anyway.
+				q.Resume()
+			}
+			return
+		}
+		q.Resume()
+	}
+}
+
+// onTauTick is the τ-periodic maintenance: price updates (eqs. 21-22),
+// stale marking and abort (congestion control), queue draining and probe-
+// based rate updates (eq. 26).
+func (n *Network) onTauTick() {
+	now := n.engine.Now()
+	if n.cfg.Scheme == SchemeFlash {
+		// Source routers see balances only as fresh as the last gossip
+		// round; refresh the snapshot Flash plans against.
+		n.flashView = n.balanceView()
+	}
+	for _, ch := range n.chans {
+		if n.usesPrices() {
+			ch.UpdatePrices(n.cfg.Kappa, n.cfg.Eta)
+		} else {
+			// Window/processing budgets still reset each τ.
+			ch.UpdatePrices(0, 0)
+		}
+		for _, dir := range []channel.Direction{channel.Fwd, channel.Rev} {
+			marked := ch.MarkStale(dir, now, n.cfg.QueueDelayThreshold)
+			for _, q := range marked {
+				n.metrics.Add("tu_marked", 1)
+				// The sender cancels marked packets (eq. 27 path).
+				if tu := n.findQueuedTU(q); tu != nil {
+					n.abortTU(tu, "marked")
+				}
+			}
+			n.drainQueue(ch, dir)
+		}
+	}
+	if n.usesPrices() {
+		// Probes: refresh every cached pair's path prices (eq. 26).
+		// Deterministic order: sort the pairs.
+		pairs := make([]pairKey, 0, len(n.rateCtl))
+		for pair := range n.rateCtl {
+			pairs = append(pairs, pair)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].s != pairs[j].s {
+				return pairs[i].s < pairs[j].s
+			}
+			return pairs[i].e < pairs[j].e
+		})
+		for _, pair := range pairs {
+			rc := n.rateCtl[pair]
+			paths := n.pathsFor[pair]
+			if len(paths) == 0 {
+				continue
+			}
+			for i := 0; i < rc.NumPaths() && i < len(paths); i++ {
+				price := routing.PathPrice(paths[i], n.cfg.TFee, func(e graph.EdgeID, from graph.NodeID) float64 {
+					return n.chans[e].Price(n.chans[e].DirFrom(from))
+				})
+				rc.UpdateRate(i, price)
+				rc.RefillBudget(i, n.cfg.UpdateTau)
+			}
+		}
+		ids := make([]int, 0, len(n.txState))
+		for id := range n.txState {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			n.drainPending(n.txState[id])
+		}
+	}
+}
+
+// findQueuedTU maps a channel queue entry back to its tuRun.
+func (n *Network) findQueuedTU(q *channel.QueuedTU) *tuRun {
+	return n.queuedIndex[q]
+}
+
+// failTx records an immediately failed payment (no route, etc.).
+func (n *Network) failTx(run *txRun, reason string) {
+	n.metrics.Add("tx_failed", 1)
+	n.metrics.Add("tx_failed_"+reason, 1)
+	_ = run
+}

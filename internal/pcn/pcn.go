@@ -1,0 +1,571 @@
+// Package pcn assembles the full payment-channel-network simulator: the
+// topology with live channel state, the five routing schemes the paper
+// compares (Splicer, Spider, Flash, Landmark routing, A2L), the payment/TU
+// lifecycle with HTLC locking, the τ-periodic price updates and the window
+// congestion controller, and the metrics the evaluation section reports
+// (transaction success ratio, normalized throughput, delay, queueing).
+//
+// The paper's testbed is MATLAB + a modified LND testnet; this package is
+// the discrete-event substitute (see DESIGN.md for the substitution table).
+package pcn
+
+import (
+	"fmt"
+
+	"github.com/splicer-pcn/splicer/internal/channel"
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/placement"
+	"github.com/splicer-pcn/splicer/internal/routing"
+	"github.com/splicer-pcn/splicer/internal/sim"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// Scheme identifies a routing scheme under evaluation.
+type Scheme int
+
+// The five schemes of Figs. 7-8.
+const (
+	SchemeSplicer Scheme = iota + 1
+	SchemeSpider
+	SchemeFlash
+	SchemeLandmark
+	SchemeA2L
+	// SchemeShortestPath is the naive single-shortest-path HTLC baseline
+	// (not in the paper's figures; used by tests and the deadlock example).
+	SchemeShortestPath
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeSplicer:
+		return "Splicer"
+	case SchemeSpider:
+		return "Spider"
+	case SchemeFlash:
+		return "Flash"
+	case SchemeLandmark:
+		return "Landmark"
+	case SchemeA2L:
+		return "A2L"
+	case SchemeShortestPath:
+		return "ShortestPath"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// SchemeByName parses a scheme name.
+func SchemeByName(name string) (Scheme, error) {
+	for _, s := range []Scheme{SchemeSplicer, SchemeSpider, SchemeFlash, SchemeLandmark, SchemeA2L, SchemeShortestPath} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("pcn: unknown scheme %q", name)
+}
+
+// Config parameterizes a simulation. NewConfig supplies the paper's §V-A
+// defaults.
+type Config struct {
+	Scheme Scheme
+
+	// NumPaths is k, the number of multi-paths (paper: 5).
+	NumPaths int
+	// PathType selects the path computation (paper default: EDW).
+	PathType routing.PathType
+	// Scheduler orders channel waiting queues (paper default: LIFO).
+	Scheduler channel.Scheduler
+
+	// UpdateTau is the price/probe update period τ in seconds (paper: 0.2).
+	UpdateTau float64
+	// QueueDelayThreshold is T, the queueing-delay mark threshold (0.4 s).
+	QueueDelayThreshold float64
+	// QueueLimit is the per-direction queue value bound (8000 tokens).
+	QueueLimit float64
+
+	// Rate/price controller parameters.
+	Alpha float64 // rate step α (eq. 26)
+	Beta  float64 // window decrement β (paper: 10)
+	Gamma float64 // window increment γ (paper: 0.1)
+	Kappa float64 // capacity price step κ (eq. 21)
+	Eta   float64 // imbalance price step η (eq. 22)
+	TFee  float64 // fee threshold T_fee (eq. 24)
+
+	// TU bounds (paper: 1 and 4 tokens).
+	MinTU float64
+	MaxTU float64
+
+	// InitPathRate seeds each path's sending rate (tokens/sec) before the
+	// price feedback converges; InitWindow seeds the congestion window.
+	InitPathRate float64
+	InitWindow   float64
+
+	// HopDelay is the per-hop forwarding latency in seconds.
+	HopDelay float64
+
+	// NumHubCandidates bounds the smooth-node candidate list for Splicer's
+	// placement step; Landmark uses NumPaths landmarks; A2L uses 1 hub.
+	NumHubCandidates int
+	// PlacementOmega is ω for the placement solve.
+	PlacementOmega float64
+	// Hubs overrides placement with an explicit hub set (optional).
+	Hubs []graph.NodeID
+
+	// HubCapitalBoost multiplies the funds on channels incident to a hub
+	// when the hub takes the role. The paper: hubs "perform many routes,
+	// have larger capital, and thus may have a larger channel size", and
+	// actual PCHs must pledge funds for access (§III-B). Applies to Splicer
+	// hubs and the A2L tumbler.
+	HubCapitalBoost float64
+	// HubComputeDelay is the routing-computation service time at a hub per
+	// payment (hubs are powerful machines; small).
+	HubComputeDelay float64
+	// SenderComputeDelayPerNode models source-routing cost at end-user
+	// senders: each payment costs SenderComputeDelayPerNode·|V| seconds of
+	// serialized sender CPU (Spider, Flash, Landmark, ShortestPath).
+	SenderComputeDelayPerNode float64
+	// A2LCryptoDelay is the per-payment cryptographic-protocol service time
+	// at the A2L tumbler hub (puzzle promise/solver), serialized at the hub.
+	A2LCryptoDelay float64
+
+	// FlashElephantThreshold splits Flash's elephant/mice handling.
+	FlashElephantThreshold float64
+	// FlashMicePaths is the number of precomputed mice paths.
+	FlashMicePaths int
+}
+
+// NewConfig returns the paper's default parameters for the given scheme.
+func NewConfig(scheme Scheme) Config {
+	return Config{
+		Scheme:                    scheme,
+		NumPaths:                  5,
+		PathType:                  routing.EDW,
+		Scheduler:                 channel.LIFO{},
+		UpdateTau:                 0.2,
+		QueueDelayThreshold:       0.4,
+		QueueLimit:                8000,
+		Alpha:                     0.4,
+		Beta:                      10,
+		Gamma:                     0.1,
+		Kappa:                     0.002,
+		Eta:                       0.002,
+		TFee:                      0.1,
+		MinTU:                     1,
+		MaxTU:                     4,
+		InitPathRate:              20,
+		InitWindow:                8,
+		HopDelay:                  0.02,
+		NumHubCandidates:          10,
+		PlacementOmega:            0.05,
+		HubCapitalBoost:           8,
+		HubComputeDelay:           0.001,
+		SenderComputeDelayPerNode: 0.00002,
+		A2LCryptoDelay:            0.04,
+		FlashElephantThreshold:    20,
+		FlashMicePaths:            3,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c *Config) Validate() error {
+	if c.Scheme < SchemeSplicer || c.Scheme > SchemeShortestPath {
+		return fmt.Errorf("pcn: invalid scheme %d", int(c.Scheme))
+	}
+	if c.NumPaths <= 0 {
+		return fmt.Errorf("pcn: NumPaths must be positive")
+	}
+	if c.UpdateTau <= 0 || c.HopDelay <= 0 {
+		return fmt.Errorf("pcn: UpdateTau and HopDelay must be positive")
+	}
+	if c.MinTU <= 0 || c.MaxTU < c.MinTU {
+		return fmt.Errorf("pcn: invalid TU bounds [%v, %v]", c.MinTU, c.MaxTU)
+	}
+	if c.Scheduler == nil {
+		return fmt.Errorf("pcn: nil scheduler")
+	}
+	return nil
+}
+
+// pairKey identifies a source-destination pair for path caching and rate
+// control.
+type pairKey struct{ s, e graph.NodeID }
+
+// Network is a live PCN simulation instance.
+type Network struct {
+	cfg     Config
+	g       *graph.Graph
+	chans   []*channel.Channel // indexed by EdgeID
+	engine  *sim.Engine
+	metrics *sim.Metrics
+
+	hubs     []graph.NodeID
+	isHub    map[graph.NodeID]bool
+	hubOf    map[graph.NodeID]graph.NodeID // client → managing hub (Splicer/A2L)
+	pathsFor map[pairKey][]graph.Path
+	rateCtl  map[pairKey]*routing.RateController
+
+	// Serialized compute resources: next-free time per sender (source
+	// routing) or per hub.
+	cpuFree map[graph.NodeID]float64
+
+	// landmarks for the Landmark scheme.
+	landmarks []graph.NodeID
+
+	// flashMice caches precomputed mice paths per pair; flashView is the
+	// τ-stale balance snapshot Flash's max-flow runs against (source
+	// routers only learn balances from the periodic gossip).
+	flashMice map[pairKey][]graph.Path
+	flashView *graph.Graph
+
+	nextTUID uint64
+
+	txState     map[int]*txRun
+	queuedIndex map[*channel.QueuedTU]*tuRun
+}
+
+// NewNetwork builds a simulation over graph g under cfg. The graph's edge
+// capacities become the channels' initial per-direction balances. For
+// Splicer, hubs come from cfg.Hubs or the placement solver.
+func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumNodes() < 3 {
+		return nil, fmt.Errorf("pcn: need at least 3 nodes, got %d", g.NumNodes())
+	}
+	n := &Network{
+		cfg:         cfg,
+		g:           g,
+		chans:       make([]*channel.Channel, g.NumEdges()),
+		engine:      sim.NewEngine(),
+		metrics:     sim.NewMetrics(),
+		isHub:       map[graph.NodeID]bool{},
+		hubOf:       map[graph.NodeID]graph.NodeID{},
+		pathsFor:    map[pairKey][]graph.Path{},
+		rateCtl:     map[pairKey]*routing.RateController{},
+		cpuFree:     map[graph.NodeID]float64{},
+		flashMice:   map[pairKey][]graph.Path{},
+		txState:     map[int]*txRun{},
+		queuedIndex: map[*channel.QueuedTU]*tuRun{},
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		ch, err := channel.New(e.ID, e.U, e.V, e.CapFwd, e.CapRev)
+		if err != nil {
+			return nil, err
+		}
+		ch.QueueLimit = cfg.QueueLimit
+		n.chans[i] = ch
+	}
+	if err := n.setupScheme(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// setupScheme performs per-scheme initialization: hub placement for
+// Splicer, the tumbler hub for A2L, landmarks for Landmark.
+func (n *Network) setupScheme() error {
+	switch n.cfg.Scheme {
+	case SchemeSplicer:
+		hubs := n.cfg.Hubs
+		if len(hubs) == 0 {
+			var err error
+			hubs, err = n.placeHubs()
+			if err != nil {
+				return err
+			}
+		}
+		n.hubs = hubs
+		for _, h := range hubs {
+			n.isHub[h] = true
+		}
+		n.assignClients()
+		n.reshapeMultiStar()
+		n.capitalizeHubs()
+	case SchemeA2L:
+		hub := topology.TopDegreeNodes(n.g, 1)[0]
+		n.hubs = []graph.NodeID{hub}
+		n.isHub[hub] = true
+		for i := 0; i < n.g.NumNodes(); i++ {
+			n.hubOf[graph.NodeID(i)] = hub
+		}
+		n.reshapeMultiStar()
+		n.capitalizeHubs()
+	case SchemeLandmark:
+		n.landmarks = topology.TopDegreeNodes(n.g, n.cfg.NumPaths)
+	}
+	return nil
+}
+
+// reshapeMultiStar realizes Definition 1's multi-star topology: during
+// payment preparation each client opens a direct payment channel with its
+// managing hub (§III-A), funded with the client's typical channel size. The
+// original graph remains as the hub-to-hub transit backbone. NewNetwork
+// owns the graph, so adding edges here is safe.
+func (n *Network) reshapeMultiStar() {
+	for v := 0; v < n.g.NumNodes(); v++ {
+		client := graph.NodeID(v)
+		if n.isHub[client] {
+			continue
+		}
+		hub, ok := n.hubOf[client]
+		if !ok || n.g.HasEdgeBetween(client, hub) {
+			continue
+		}
+		// Fund the client side with its mean existing per-direction
+		// balance (the client moves part of its liquidity to the hub
+		// channel); the hub matches it.
+		funds := 0.0
+		deg := n.g.Degree(client)
+		if deg > 0 {
+			for _, eid := range n.g.Incident(client) {
+				e := n.g.Edge(eid)
+				funds += e.Capacity(client)
+			}
+			funds /= float64(deg)
+		}
+		if funds <= 0 {
+			funds = workload.LNChannelMedian
+		}
+		eid, err := n.g.AddEdge(client, hub, funds, funds)
+		if err != nil {
+			panic(err) // client != hub and both in range
+		}
+		ch, err := channel.New(eid, client, hub, funds, funds)
+		if err != nil {
+			panic(err)
+		}
+		ch.QueueLimit = n.cfg.QueueLimit
+		n.chans = append(n.chans, ch)
+	}
+}
+
+// capitalizeHubs scales the funds of hub-incident channels by
+// HubCapitalBoost: taking the hub role comes with pledging capital into the
+// hub's channels.
+func (n *Network) capitalizeHubs() {
+	if n.cfg.HubCapitalBoost <= 1 {
+		return
+	}
+	boosted := map[graph.EdgeID]bool{}
+	for _, h := range n.hubs {
+		for _, eid := range n.g.Incident(h) {
+			if boosted[eid] {
+				continue
+			}
+			boosted[eid] = true
+			ch := n.chans[eid]
+			// Recreate the channel with boosted balances; no payments have
+			// run yet at setup time.
+			nc, err := channel.New(ch.Edge, ch.U, ch.V,
+				ch.Balance(channel.Fwd)*n.cfg.HubCapitalBoost,
+				ch.Balance(channel.Rev)*n.cfg.HubCapitalBoost)
+			if err != nil {
+				panic(err) // balances are non-negative by construction
+			}
+			nc.QueueLimit = n.cfg.QueueLimit
+			n.chans[eid] = nc
+		}
+	}
+}
+
+// placeHubs runs the placement pipeline: candidate list by excellence
+// (degree), then the double-greedy approximation (the exact MILP is
+// exercised by tests and cmd/placement on small instances).
+func (n *Network) placeHubs() ([]graph.NodeID, error) {
+	numCand := n.cfg.NumHubCandidates
+	if numCand > n.g.NumNodes()/2 {
+		numCand = n.g.NumNodes() / 2
+	}
+	if numCand < 1 {
+		numCand = 1
+	}
+	cands := topology.TopDegreeNodes(n.g, numCand)
+	candSet := map[graph.NodeID]bool{}
+	for _, c := range cands {
+		candSet[c] = true
+	}
+	var clients []graph.NodeID
+	for i := 0; i < n.g.NumNodes(); i++ {
+		if !candSet[graph.NodeID(i)] {
+			clients = append(clients, graph.NodeID(i))
+		}
+	}
+	inst, err := placement.NewInstanceFromGraph(n.g, clients, cands, n.cfg.PlacementOmega)
+	if err != nil {
+		return nil, err
+	}
+	var plan placement.Plan
+	if len(cands) <= 16 {
+		plan, err = inst.SolveExhaustive()
+	} else {
+		plan, err = inst.SolveDoubleGreedy(nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var hubs []graph.NodeID
+	for _, idx := range plan.PlacedCandidates() {
+		hubs = append(hubs, cands[idx])
+	}
+	if len(hubs) == 0 {
+		return nil, fmt.Errorf("pcn: placement produced no hubs")
+	}
+	return hubs, nil
+}
+
+// assignClients maps every non-hub node to its Lemma-1 hub: the hub
+// minimizing ω·(sync burden) + ζ(hops).
+func (n *Network) assignClients() {
+	hopsFrom := make([][]int, len(n.hubs))
+	for i, h := range n.hubs {
+		hopsFrom[i] = n.g.BFSHops(h)
+	}
+	// Sync burden per hub: ω Σ_l δ(h, l).
+	burden := make([]float64, len(n.hubs))
+	for i := range n.hubs {
+		for j, l := range n.hubs {
+			_ = j
+			if hopsFrom[i][l] > 0 {
+				burden[i] += placement.DefaultSyncPerHop * float64(hopsFrom[i][l])
+			}
+		}
+	}
+	for v := 0; v < n.g.NumNodes(); v++ {
+		node := graph.NodeID(v)
+		if n.isHub[node] {
+			continue
+		}
+		best, bestCost := 0, 0.0
+		for i := range n.hubs {
+			h := hopsFrom[i][node]
+			if h < 0 {
+				continue
+			}
+			c := n.cfg.PlacementOmega*burden[i] + placement.DefaultMgmtPerHop*float64(h)
+			if i == 0 || c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		n.hubOf[node] = n.hubs[best]
+	}
+}
+
+// Channel returns the live channel for an edge.
+func (n *Network) Channel(id graph.EdgeID) *channel.Channel { return n.chans[id] }
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Hubs returns the scheme's hub set (nil for source-routing schemes).
+func (n *Network) Hubs() []graph.NodeID { return append([]graph.NodeID(nil), n.hubs...) }
+
+// HubOf returns the managing hub for a client (Splicer/A2L).
+func (n *Network) HubOf(client graph.NodeID) (graph.NodeID, bool) {
+	h, ok := n.hubOf[client]
+	return h, ok
+}
+
+// Metrics exposes the metrics registry.
+func (n *Network) Metrics() *sim.Metrics { return n.metrics }
+
+// Now returns the current simulation time.
+func (n *Network) Now() float64 { return n.engine.Now() }
+
+// Result summarizes a run.
+type Result struct {
+	Scheme               Scheme
+	Generated            int
+	Completed            int
+	GeneratedValue       float64
+	CompletedValue       float64
+	TSR                  float64
+	NormalizedThroughput float64
+	MeanDelay            float64 // mean completion latency of successful txs
+	MeanQueueDelay       float64
+	TotalFees            float64
+	MeanImbalance        float64 // mean end-state channel imbalance in [0,1]
+	DeadlockedChannels   int     // channels fully drained in one direction
+}
+
+// Run executes the trace and returns the summary. The horizon extends past
+// the last arrival by the transaction timeout so in-flight payments can
+// finish.
+func (n *Network) Run(trace []workload.Tx) (Result, error) {
+	if len(trace) == 0 {
+		return Result{}, fmt.Errorf("pcn: empty trace")
+	}
+	horizon := trace[len(trace)-1].Deadline + 1
+	// Periodic price updates + queue maintenance (Splicer; Spider uses
+	// windows only but still needs queue staleness marking; Flash refreshes
+	// its stale balance snapshot).
+	if n.usesQueues() || n.usesPrices() || n.cfg.Scheme == SchemeFlash {
+		if err := n.engine.Every(n.cfg.UpdateTau, horizon, 0, n.onTauTick); err != nil {
+			return Result{}, err
+		}
+	}
+	for i := range trace {
+		tx := trace[i]
+		if _, err := n.engine.Schedule(tx.Arrival, 1, func() { n.onArrival(tx) }); err != nil {
+			return Result{}, err
+		}
+	}
+	n.engine.Run(horizon)
+	// Payments whose dispatch was pushed past the horizon by compute
+	// backlog never produced an outcome event; they are failures.
+	unresolved := float64(len(trace)) - n.metrics.Counter("tx_completed") - n.metrics.Counter("tx_failed")
+	if unresolved > 0 {
+		n.metrics.Add("tx_failed", unresolved)
+		n.metrics.Add("tx_failed_compute_backlog", unresolved)
+	}
+	return n.summarize(trace), nil
+}
+
+func (n *Network) usesQueues() bool {
+	return n.cfg.Scheme == SchemeSplicer || n.cfg.Scheme == SchemeSpider
+}
+
+func (n *Network) usesPrices() bool {
+	return n.cfg.Scheme == SchemeSplicer
+}
+
+func (n *Network) splitsTUs() bool {
+	switch n.cfg.Scheme {
+	case SchemeSplicer, SchemeSpider:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *Network) summarize(trace []workload.Tx) Result {
+	r := Result{Scheme: n.cfg.Scheme, Generated: len(trace)}
+	for _, tx := range trace {
+		r.GeneratedValue += tx.Value
+	}
+	r.Completed = int(n.metrics.Counter("tx_completed"))
+	r.CompletedValue = n.metrics.Counter("value_completed")
+	if r.Generated > 0 {
+		r.TSR = float64(r.Completed) / float64(r.Generated)
+	}
+	if r.GeneratedValue > 0 {
+		r.NormalizedThroughput = r.CompletedValue / r.GeneratedValue
+	}
+	r.MeanDelay = n.metrics.Mean("tx_delay")
+	r.MeanQueueDelay = n.metrics.Mean("queue_delay")
+	r.TotalFees = n.metrics.Counter("fees")
+	imb, dead := 0.0, 0
+	for _, ch := range n.chans {
+		imb += ch.Imbalance()
+		if ch.Balance(channel.Fwd) <= 1e-9 || ch.Balance(channel.Rev) <= 1e-9 {
+			dead++
+		}
+	}
+	if len(n.chans) > 0 {
+		r.MeanImbalance = imb / float64(len(n.chans))
+	}
+	r.DeadlockedChannels = dead
+	return r
+}

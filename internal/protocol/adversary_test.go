@@ -1,0 +1,111 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/transport"
+)
+
+// adversarialTransport implements the §III-B threat model on the wire: it
+// can replay, drop, or reorder frames between registered endpoints.
+type adversarialTransport struct {
+	*transport.InProc
+	// replayKinds replays matching messages once more.
+	replayKinds map[MsgKind]bool
+	// dropKinds silently discards matching messages.
+	dropKinds map[MsgKind]bool
+	replayed  int
+	dropped   int
+}
+
+func newAdversary() *adversarialTransport {
+	return &adversarialTransport{
+		InProc:      transport.NewInProc(),
+		replayKinds: map[MsgKind]bool{},
+		dropKinds:   map[MsgKind]bool{},
+	}
+}
+
+func (a *adversarialTransport) Send(from, to transport.Address, payload []byte) error {
+	if m, err := DecodeMessage(payload); err == nil {
+		if a.dropKinds[m.Kind] {
+			a.dropped++
+			return nil // swallowed by the adversary
+		}
+		if a.replayKinds[m.Kind] {
+			a.replayed++
+			if err := a.InProc.Send(from, to, payload); err != nil {
+				return err
+			}
+			// ... and deliver again.
+			return a.InProc.Send(from, to, payload)
+		}
+	}
+	return a.InProc.Send(from, to, payload)
+}
+
+func TestReplayedTUsDeliverOnce(t *testing.T) {
+	adv := newAdversary()
+	adv.replayKinds[MsgTU] = true
+	d := newDeployment(t, adv)
+	if err := d.alice.Pay(2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if adv.replayed == 0 {
+		t.Fatal("adversary replayed nothing; test is vacuous")
+	}
+	// Despite every TU being delivered twice, the recipient receives the
+	// demanded value exactly once.
+	if math.Abs(d.deliveredVal-10) > 1e-9 {
+		t.Fatalf("delivered %v after replay, want exactly 10", d.deliveredVal)
+	}
+}
+
+func TestDroppedTUsFailSafely(t *testing.T) {
+	adv := newAdversary()
+	adv.dropKinds[MsgTU] = true
+	d := newDeployment(t, adv)
+	// The payment cannot complete (all TUs vanish), but nothing must be
+	// delivered and the node state must stay consistent. Pay would block on
+	// the final ack, so drive the workflow manually up to Exec.
+	done := make(chan error, 1)
+	go func() { done <- d.alice.Pay(2, 10) }()
+	// Give the synchronous InProc pipeline a beat; the TUs are dropped
+	// inline so delivery state is already final.
+	if adv.dropped == 0 {
+		// The goroutine may not have run yet; spin briefly.
+		for i := 0; i < 1000 && adv.dropped == 0; i++ {
+		}
+	}
+	if d.deliveredVal != 0 {
+		t.Fatalf("delivered %v with all TUs dropped", d.deliveredVal)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Pay returned (%v) despite dropped TUs", err)
+	default:
+		// Expected: the payment hangs awaiting acknowledgment; a real
+		// deployment would time it out and the hub would withdraw the
+		// failed transaction (threat model: failures cause no loss).
+	}
+}
+
+func TestReplayedAcksHarmless(t *testing.T) {
+	adv := newAdversary()
+	adv.replayKinds[MsgTUAck] = true
+	d := newDeployment(t, adv)
+	if err := d.alice.Pay(2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.deliveredVal-10) > 1e-9 {
+		t.Fatalf("delivered %v with replayed ACKs", d.deliveredVal)
+	}
+	// A second payment still works (state not corrupted).
+	if err := d.alice.Pay(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.deliveredVal-15) > 1e-9 {
+		t.Fatalf("delivered %v after second payment", d.deliveredVal)
+	}
+}

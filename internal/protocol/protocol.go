@@ -1,0 +1,474 @@
+// Package protocol implements Splicer's payment workflow (§III-A, Fig. 3)
+// over a transport: payment preparation (payreq → fresh tid and KMG key
+// pair), payment execution (the sender encrypts its demand D = (Ps, Pr,
+// val); the ingress smooth node threshold-decrypts it, splits it into
+// transaction-units, re-encrypts each TU to a fresh key for the egress
+// smooth node) and acknowledgment propagation back to the sender.
+//
+// The hubs' KMG is a real Feldman-VSS DKG committee (internal/dkg), so no
+// single smooth node ever holds a demand decryption key.
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"github.com/splicer-pcn/splicer/internal/dkg"
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/group"
+	"github.com/splicer-pcn/splicer/internal/routing"
+	"github.com/splicer-pcn/splicer/internal/transport"
+)
+
+// Demand is the payment demand D_tid = (Ps, Pr, val).
+type Demand struct {
+	Sender    graph.NodeID
+	Recipient graph.NodeID
+	Value     float64
+}
+
+// MsgKind enumerates protocol messages.
+type MsgKind int
+
+// Message kinds, in workflow order.
+const (
+	MsgPayReq   MsgKind = iota + 1 // client → ingress hub: new payment intent
+	MsgPayInit                     // ingress hub → client: (tid, pk_tid)
+	MsgExec                        // client → ingress hub: (tid, Enc(pk, D)), funds
+	MsgTU                          // ingress hub → egress hub: Enc(pk_tuid, D_tuid)
+	MsgTUAck                       // egress hub → ingress hub: ACK_tuid
+	MsgFinalAck                    // egress hub → recipient → ... → sender
+)
+
+// Message is the wire envelope.
+type Message struct {
+	Kind MsgKind
+	TID  uint64
+	TUID uint64
+	// C1/Data carry an ElGamal ciphertext when present.
+	C1   *big.Int
+	Data []byte
+	// PK carries a fresh public key (MsgPayInit).
+	PK *big.Int
+	// OK marks acknowledgment status.
+	OK bool
+	// Total is the number of TUs in the parent payment (MsgTU), so the
+	// egress knows when it holds the complete demand and can pay the
+	// recipient in one shot (§III-A step 4).
+	Total int
+}
+
+// Encode serializes a message for a transport payload.
+func (m Message) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("protocol: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMessage parses a transport payload.
+func DecodeMessage(payload []byte) (Message, error) {
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return Message{}, fmt.Errorf("protocol: decode: %w", err)
+	}
+	return m, nil
+}
+
+// encodeDemand/decodeDemand are the plaintext format inside ciphertexts.
+func encodeDemand(d Demand) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		return nil, fmt.Errorf("protocol: demand encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeDemand(b []byte) (Demand, error) {
+	var d Demand
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&d); err != nil {
+		return Demand{}, fmt.Errorf("protocol: demand decode: %w", err)
+	}
+	return d, nil
+}
+
+// KMG is the key management group: ι smooth nodes that jointly generate
+// fresh key pairs and threshold-decrypt. One KMG is shared by all smooth
+// nodes in a deployment.
+type KMG struct {
+	grp       *group.Group
+	size      int
+	threshold int
+
+	mu   sync.Mutex
+	keys map[uint64]*dkg.Key // tid/tuid → key
+	next uint64
+}
+
+// NewKMG creates a committee of the given size and threshold.
+func NewKMG(size, threshold int) (*KMG, error) {
+	if size < 1 || threshold < 1 || threshold > size {
+		return nil, fmt.Errorf("protocol: invalid KMG size %d / threshold %d", size, threshold)
+	}
+	return &KMG{grp: group.Default(), size: size, threshold: threshold, keys: map[uint64]*dkg.Key{}}, nil
+}
+
+// FreshKey runs a DKG and returns (id, pk). The secret stays shared inside
+// the committee.
+func (k *KMG) FreshKey() (uint64, *big.Int, error) {
+	key, err := dkg.Generate(k.grp, nil, k.size, k.threshold)
+	if err != nil {
+		return 0, nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	id := k.next
+	k.next++
+	k.keys[id] = key
+	return id, key.PK, nil
+}
+
+// Decrypt threshold-decrypts a ciphertext under key id using the first
+// `threshold` committee members' partials.
+func (k *KMG) Decrypt(id uint64, ct group.Ciphertext) ([]byte, error) {
+	k.mu.Lock()
+	key, ok := k.keys[id]
+	k.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown key id %d", id)
+	}
+	parts := make([]dkg.Partial, key.Threshold)
+	for i := 0; i < key.Threshold; i++ {
+		parts[i] = dkg.Partial{Index: key.Nodes[i].Index, Value: key.PartialDecrypt(key.Nodes[i], ct)}
+	}
+	return key.CombineDecrypt(parts, ct)
+}
+
+// Group exposes the underlying group for client-side encryption.
+func (k *KMG) Group() *group.Group { return k.grp }
+
+// SmoothNode is a hub endpoint running the routing-side of the workflow.
+type SmoothNode struct {
+	Addr transport.Address
+	kmg  *KMG
+	tr   transport.Transport
+
+	// MinTU/MaxTU bound the demand split.
+	MinTU, MaxTU float64
+
+	mu sync.Mutex
+	// tuState tracks outstanding TUs per tid for θ aggregation
+	// (state_tid = ∧ θ_tuid).
+	tuState map[uint64]*tidState
+	// inbox accumulates TUs arriving for payments this node terminates.
+	arrived map[uint64][]Demand // tid → TUs received
+	// egressFor maps tuid → (tid, origin) to acknowledge correctly.
+	egress map[uint64]egressRef
+
+	// seenTUs provides replay protection (threat model §III-B: the
+	// adversary can replay messages): a tuid is accepted once.
+	seenTUs map[uint64]bool
+
+	// resolver maps a recipient to its managing hub's address.
+	resolver EgressResolver
+
+	// Delivered reports completed payments: recipient and total value.
+	Delivered func(d Demand)
+}
+
+type tidState struct {
+	demand   Demand
+	total    int
+	acked    int
+	origin   transport.Address // client address to notify on completion
+	egressTo transport.Address
+}
+
+type egressRef struct {
+	tid    uint64
+	origin transport.Address
+}
+
+// NewSmoothNode creates a hub bound to addr on tr.
+func NewSmoothNode(tr transport.Transport, addr transport.Address, kmg *KMG) (*SmoothNode, error) {
+	s := &SmoothNode{
+		Addr:    addr,
+		kmg:     kmg,
+		tr:      tr,
+		MinTU:   1,
+		MaxTU:   4,
+		tuState: map[uint64]*tidState{},
+		arrived: map[uint64][]Demand{},
+		egress:  map[uint64]egressRef{},
+		seenTUs: map[uint64]bool{},
+	}
+	if err := tr.Register(addr, s.onMessage); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *SmoothNode) onMessage(from transport.Address, payload []byte) {
+	m, err := DecodeMessage(payload)
+	if err != nil {
+		return // drop malformed traffic, as a real node would
+	}
+	switch m.Kind {
+	case MsgPayReq:
+		s.handlePayReq(from)
+	case MsgExec:
+		s.handleExec(from, m)
+	case MsgTU:
+		s.handleTU(from, m)
+	case MsgTUAck:
+		s.handleTUAck(m)
+	}
+}
+
+// handlePayReq performs payment initialization: fresh (tid, pk) from the
+// KMG, returned to the client.
+func (s *SmoothNode) handlePayReq(client transport.Address) {
+	tid, pk, err := s.kmg.FreshKey()
+	if err != nil {
+		return
+	}
+	reply := Message{Kind: MsgPayInit, TID: tid, PK: pk}
+	if b, err := reply.Encode(); err == nil {
+		_ = s.tr.Send(s.Addr, client, b)
+	}
+}
+
+// EgressResolver maps a recipient to its managing hub's address. Injected
+// by the deployment (the simulator or a real roster).
+type EgressResolver func(recipient graph.NodeID) (transport.Address, bool)
+
+// SetResolver installs the recipient→hub mapping; must be called before
+// payments flow.
+func (s *SmoothNode) SetResolver(r EgressResolver) { s.resolver = r }
+
+// handleExec decrypts the demand via the KMG, splits it into TUs and
+// forwards each TU, freshly encrypted, to the egress hub.
+func (s *SmoothNode) handleExec(client transport.Address, m Message) {
+	if s.resolver == nil {
+		return
+	}
+	plain, err := s.kmg.Decrypt(m.TID, group.Ciphertext{C1: m.C1, Data: m.Data})
+	if err != nil {
+		return
+	}
+	d, err := decodeDemand(plain)
+	if err != nil {
+		return
+	}
+	egressAddr, ok := s.resolver(d.Recipient)
+	if !ok {
+		return
+	}
+	parts, err := routing.SplitDemand(d.Value, s.MinTU, s.MaxTU)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.tuState[m.TID] = &tidState{demand: d, total: len(parts), origin: client, egressTo: egressAddr}
+	s.mu.Unlock()
+	for _, v := range parts {
+		tu := Demand{Sender: d.Sender, Recipient: d.Recipient, Value: v}
+		tuid, pk, err := s.kmg.FreshKey()
+		if err != nil {
+			return
+		}
+		plainTU, err := encodeDemand(tu)
+		if err != nil {
+			return
+		}
+		ct, err := s.kmg.Group().Encrypt(nil, pk, plainTU)
+		if err != nil {
+			return
+		}
+		out := Message{Kind: MsgTU, TID: m.TID, TUID: tuid, C1: ct.C1, Data: ct.Data, Total: len(parts)}
+		if b, err := out.Encode(); err == nil {
+			_ = s.tr.Send(s.Addr, egressAddr, b)
+		}
+	}
+}
+
+// handleTU is the egress side: decrypt the TU, record its arrival, ACK.
+// Replayed TUs (same tuid) are dropped without effect.
+func (s *SmoothNode) handleTU(from transport.Address, m Message) {
+	s.mu.Lock()
+	if s.seenTUs[m.TUID] {
+		s.mu.Unlock()
+		return
+	}
+	s.seenTUs[m.TUID] = true
+	s.mu.Unlock()
+	plain, err := s.kmg.Decrypt(m.TUID, group.Ciphertext{C1: m.C1, Data: m.Data})
+	if err != nil {
+		return
+	}
+	tu, err := decodeDemand(plain)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.arrived[m.TID] = append(s.arrived[m.TID], tu)
+	complete := m.Total > 0 && len(s.arrived[m.TID]) == m.Total
+	s.mu.Unlock()
+	if complete && s.Delivered != nil {
+		total := 0.0
+		for _, part := range s.arrived[m.TID] {
+			total += part.Value
+		}
+		s.Delivered(Demand{Sender: tu.Sender, Recipient: tu.Recipient, Value: total})
+	}
+	ack := Message{Kind: MsgTUAck, TID: m.TID, TUID: m.TUID, OK: true}
+	if b, err := ack.Encode(); err == nil {
+		_ = s.tr.Send(s.Addr, from, b)
+	}
+}
+
+// handleTUAck updates θ_tuid; when every TU acked (θ_tid = true), the
+// payment completes: the egress delivers funds to the recipient in one shot
+// and the final ACK flows back to the sender's client address.
+func (s *SmoothNode) handleTUAck(m Message) {
+	s.mu.Lock()
+	st, ok := s.tuState[m.TID]
+	if !ok || !m.OK {
+		s.mu.Unlock()
+		return
+	}
+	st.acked++
+	done := st.acked == st.total
+	var origin transport.Address
+	var d Demand
+	if done {
+		origin = st.origin
+		d = st.demand
+		delete(s.tuState, m.TID)
+	}
+	s.mu.Unlock()
+	if !done {
+		return
+	}
+	if s.Delivered != nil {
+		s.Delivered(d)
+	}
+	fin := Message{Kind: MsgFinalAck, TID: m.TID, OK: true}
+	if b, err := fin.Encode(); err == nil {
+		_ = s.tr.Send(s.Addr, origin, b)
+	}
+}
+
+// ArrivedValue returns the total TU value the node has received for tid
+// (egress side).
+func (s *SmoothNode) ArrivedValue(tid uint64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0.0
+	for _, tu := range s.arrived[tid] {
+		total += tu.Value
+	}
+	return total
+}
+
+// Client is an end-user endpoint.
+type Client struct {
+	Addr transport.Address
+	Node graph.NodeID
+	tr   transport.Transport
+	grp  *group.Group
+	hub  transport.Address
+
+	mu      sync.Mutex
+	pending map[uint64]Demand // tid → demand awaiting final ack
+	inits   chan Message
+	finals  chan Message
+}
+
+// NewClient creates a client bound to addr, managed by the given hub.
+func NewClient(tr transport.Transport, addr transport.Address, node graph.NodeID, hub transport.Address, grp *group.Group) (*Client, error) {
+	c := &Client{
+		Addr:    addr,
+		Node:    node,
+		tr:      tr,
+		grp:     grp,
+		hub:     hub,
+		pending: map[uint64]Demand{},
+		inits:   make(chan Message, 16),
+		finals:  make(chan Message, 16),
+	}
+	if err := tr.Register(addr, c.onMessage); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) onMessage(_ transport.Address, payload []byte) {
+	m, err := DecodeMessage(payload)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case MsgPayInit:
+		select {
+		case c.inits <- m:
+		default:
+		}
+	case MsgFinalAck:
+		select {
+		case c.finals <- m:
+		default:
+		}
+	}
+}
+
+// Pay runs the full client-side workflow synchronously: payreq, wait for
+// (tid, pk), encrypt and send the demand, wait for the final ACK. The
+// transports here deliver synchronously (InProc) or near-instantly (TCP
+// loopback), so the channel waits are short; no timeout plumbing is needed
+// at this layer.
+func (c *Client) Pay(recipient graph.NodeID, value float64) error {
+	if value <= 0 {
+		return fmt.Errorf("protocol: value must be positive, got %v", value)
+	}
+	req := Message{Kind: MsgPayReq}
+	b, err := req.Encode()
+	if err != nil {
+		return err
+	}
+	if err := c.tr.Send(c.Addr, c.hub, b); err != nil {
+		return err
+	}
+	init := <-c.inits
+	d := Demand{Sender: c.Node, Recipient: recipient, Value: value}
+	plain, err := encodeDemand(d)
+	if err != nil {
+		return err
+	}
+	ct, err := c.grp.Encrypt(nil, init.PK, plain)
+	if err != nil {
+		return err
+	}
+	exec := Message{Kind: MsgExec, TID: init.TID, C1: ct.C1, Data: ct.Data}
+	if b, err = exec.Encode(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.pending[init.TID] = d
+	c.mu.Unlock()
+	if err := c.tr.Send(c.Addr, c.hub, b); err != nil {
+		return err
+	}
+	fin := <-c.finals
+	if fin.TID != init.TID || !fin.OK {
+		return fmt.Errorf("protocol: payment %d not acknowledged", init.TID)
+	}
+	c.mu.Lock()
+	delete(c.pending, init.TID)
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package sim is the discrete-event simulation engine the PCN model runs
+// on: a virtual clock, an event heap, periodic tasks (the τ-spaced price
+// updates and epoch synchronizations of §III-B), and a metrics registry.
+//
+// The paper evaluates with a MATLAB simulation plus an instrumented LND
+// testnet; this engine is the Go substitute — every evaluation quantity
+// (TSR, normalized throughput, delay, queue occupancy) is an event-level
+// measurement here.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	Time float64
+	// Priority breaks ties at equal times (lower runs first); sequence
+	// breaks remaining ties FIFO.
+	Priority int
+	Action   func()
+	seq      uint64
+	index    int
+	canceled bool
+}
+
+// Cancel prevents a scheduled event from running. Safe to call multiple
+// times.
+func (e *Event) Cancel() { e.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority < h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now    float64
+	queue  eventHeap
+	seq    uint64
+	nRun   uint64
+	halted bool
+}
+
+// NewEngine returns an engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// EventsRun returns the number of events executed.
+func (e *Engine) EventsRun() uint64 { return e.nRun }
+
+// Schedule queues action at absolute time t (>= Now). It returns the event
+// handle for cancellation.
+func (e *Engine) Schedule(t float64, priority int, action func()) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
+	}
+	if action == nil {
+		return nil, fmt.Errorf("sim: nil action")
+	}
+	ev := &Event{Time: t, Priority: priority, Action: action, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After queues action delay seconds from now.
+func (e *Engine) After(delay float64, priority int, action func()) (*Event, error) {
+	return e.Schedule(e.now+delay, priority, action)
+}
+
+// Every schedules action at now+interval, then every interval seconds until
+// `until` (exclusive). Used for the τ-periodic probe/price updates.
+func (e *Engine) Every(interval, until float64, priority int, action func()) error {
+	if interval <= 0 {
+		return fmt.Errorf("sim: interval must be positive, got %v", interval)
+	}
+	var tick func()
+	next := e.now + interval
+	tick = func() {
+		action()
+		next += interval
+		if next < until {
+			if _, err := e.Schedule(next, priority, tick); err != nil {
+				panic(err) // next >= now always holds inside the run loop
+			}
+		}
+	}
+	if next >= until {
+		return nil
+	}
+	_, err := e.Schedule(next, priority, tick)
+	return err
+}
+
+// Halt stops the run loop after the current event.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events in time order until the queue empties, the horizon is
+// passed, or Halt is called. It returns the final virtual time.
+func (e *Engine) Run(horizon float64) float64 {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.Time > horizon {
+			// Past the horizon: leave time at the horizon; drop the event.
+			e.now = horizon
+			break
+		}
+		e.now = ev.Time
+		e.nRun++
+		ev.Action()
+	}
+	if e.now < horizon && len(e.queue) == 0 {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Metrics collects counters, gauges and histograms for an experiment run.
+// The zero value is ready to use.
+type Metrics struct {
+	counters map[string]float64
+	samples  map[string][]float64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: map[string]float64{}, samples: map[string][]float64{}}
+}
+
+// Add increments counter name by v.
+func (m *Metrics) Add(name string, v float64) { m.counters[name] += v }
+
+// Counter returns the current value of a counter.
+func (m *Metrics) Counter(name string) float64 { return m.counters[name] }
+
+// Observe appends one sample to histogram name.
+func (m *Metrics) Observe(name string, v float64) {
+	m.samples[name] = append(m.samples[name], v)
+}
+
+// Quantile returns the q-quantile (0..1) of histogram name, or NaN when
+// empty.
+func (m *Metrics) Quantile(name string, q float64) float64 {
+	s := m.samples[name]
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Mean returns the mean of histogram name, or NaN when empty.
+func (m *Metrics) Mean(name string) float64 {
+	s := m.samples[name]
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Count returns the number of samples observed for name.
+func (m *Metrics) Count(name string) int { return len(m.samples[name]) }
+
+// CounterNames returns the sorted counter names (for reporting).
+func (m *Metrics) CounterNames() []string {
+	names := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

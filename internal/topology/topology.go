@@ -1,0 +1,275 @@
+// Package topology generates the payment channel network graphs used by the
+// Splicer evaluation: Watts–Strogatz small-world graphs (the paper follows
+// Spider's benchmark, generating channel connections with ROLL [26] on the
+// Watts–Strogatz model), Barabási–Albert scale-free graphs, and the
+// star / multi-star hub topologies of §III-A.
+package topology
+
+import (
+	"fmt"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/rng"
+)
+
+// CapacityFunc returns the funds to deposit on each side of a new channel.
+// It is invoked once per channel.
+type CapacityFunc func() (fwd, rev float64)
+
+// UniformCapacity deposits the same fixed funds on both sides.
+func UniformCapacity(c float64) CapacityFunc {
+	return func() (float64, float64) { return c, c }
+}
+
+// WattsStrogatz generates a connected small-world graph over n nodes. Each
+// node starts connected to its k nearest ring neighbors (k must be even and
+// >= 2), then each edge is rewired with probability beta. Rewiring that
+// would create a duplicate edge or self-loop is skipped, matching the
+// standard construction. Capacities come from capFn.
+func WattsStrogatz(src *rng.Source, n, k int, beta float64, capFn CapacityFunc) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: n must be positive, got %d", n)
+	}
+	if k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("topology: k must be even, >= 2 and < n; got k=%d n=%d", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("topology: beta must be in [0,1], got %v", beta)
+	}
+	g := graph.New(n)
+	type pair struct{ u, v int }
+	exists := make(map[pair]bool, n*k/2)
+	norm := func(u, v int) pair {
+		if u > v {
+			u, v = v, u
+		}
+		return pair{u, v}
+	}
+	// Ring lattice.
+	var lattice []pair
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			p := norm(i, (i+j)%n)
+			if !exists[p] {
+				exists[p] = true
+				lattice = append(lattice, p)
+			}
+		}
+	}
+	// Rewire: for each lattice edge, with probability beta replace the far
+	// endpoint with a uniform random node.
+	for _, p := range lattice {
+		u, v := p.u, p.v
+		if src.Bool(beta) {
+			// Try a few times to find a valid new endpoint.
+			for attempt := 0; attempt < 8; attempt++ {
+				w := src.IntN(n)
+				if w == u || exists[norm(u, w)] {
+					continue
+				}
+				delete(exists, norm(u, v))
+				exists[norm(u, w)] = true
+				v = w
+				break
+			}
+		}
+		fwd, rev := capFn()
+		if _, err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), fwd, rev); err != nil {
+			return nil, err
+		}
+	}
+	// Watts–Strogatz with k>=2 is connected with very high probability; if
+	// rewiring disconnected it, stitch components back with extra channels.
+	ensureConnected(src, g, capFn)
+	return g, nil
+}
+
+// BarabasiAlbert generates a connected scale-free graph: start from a small
+// clique of m0 = m+1 nodes, then attach each new node with m edges chosen by
+// preferential attachment. This approximates the degree distribution the
+// ROLL generator samples from.
+func BarabasiAlbert(src *rng.Source, n, m int, capFn CapacityFunc) (*graph.Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("topology: m must be >= 1, got %d", m)
+	}
+	if n <= m {
+		return nil, fmt.Errorf("topology: n must exceed m; got n=%d m=%d", n, m)
+	}
+	g := graph.New(n)
+	// Repeated-endpoint list: a node appears once per incident edge, so
+	// sampling uniformly from it is preferential attachment.
+	var endpoints []int
+	addEdge := func(u, v int) error {
+		fwd, rev := capFn()
+		if _, err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), fwd, rev); err != nil {
+			return err
+		}
+		endpoints = append(endpoints, u, v)
+		return nil
+	}
+	// Seed clique on nodes 0..m.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			if err := addEdge(u, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for u := m + 1; u < n; u++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			v := endpoints[src.IntN(len(endpoints))]
+			if v == u || chosen[v] {
+				continue
+			}
+			chosen[v] = true
+		}
+		for v := range chosen {
+			if err := addEdge(u, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Star builds the single-PCH topology of Fig. 2(a): node 0 is the hub, nodes
+// 1..n-1 are clients each with one channel to the hub.
+func Star(n int, capFn CapacityFunc) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: star needs >= 2 nodes, got %d", n)
+	}
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		fwd, rev := capFn()
+		if _, err := g.AddEdge(0, graph.NodeID(i), fwd, rev); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// MultiStar builds the multi-star topology of Fig. 2(b) and Definition 1:
+// the first numHubs nodes are hubs forming a connected hub backbone (a ring
+// plus random chords), and every remaining node is a client attached to one
+// hub, assigned round-robin. hubCapFn sizes hub-to-hub channels (typically
+// much larger), capFn sizes client channels.
+func MultiStar(src *rng.Source, numHubs, numClients int, hubCapFn, capFn CapacityFunc) (*graph.Graph, []graph.NodeID, error) {
+	if numHubs < 1 {
+		return nil, nil, fmt.Errorf("topology: need >= 1 hub, got %d", numHubs)
+	}
+	if numClients < 1 {
+		return nil, nil, fmt.Errorf("topology: need >= 1 client, got %d", numClients)
+	}
+	g := graph.New(numHubs + numClients)
+	hubs := make([]graph.NodeID, numHubs)
+	for i := range hubs {
+		hubs[i] = graph.NodeID(i)
+	}
+	// Hub backbone: ring, plus ~numHubs/2 random chords for path diversity.
+	if numHubs > 1 {
+		for i := 0; i < numHubs; i++ {
+			j := (i + 1) % numHubs
+			if i == j || (numHubs == 2 && i > j) {
+				continue
+			}
+			fwd, rev := hubCapFn()
+			if _, err := g.AddEdge(hubs[i], hubs[j], fwd, rev); err != nil {
+				return nil, nil, err
+			}
+		}
+		for c := 0; c < numHubs/2; c++ {
+			u, v := src.IntN(numHubs), src.IntN(numHubs)
+			if u == v || g.HasEdgeBetween(hubs[u], hubs[v]) {
+				continue
+			}
+			fwd, rev := hubCapFn()
+			if _, err := g.AddEdge(hubs[u], hubs[v], fwd, rev); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for i := 0; i < numClients; i++ {
+		hub := hubs[i%numHubs]
+		fwd, rev := capFn()
+		if _, err := g.AddEdge(graph.NodeID(numHubs+i), hub, fwd, rev); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, hubs, nil
+}
+
+// ensureConnected adds channels between components until the graph is
+// connected. Used as a safety net after random generation.
+func ensureConnected(src *rng.Source, g *graph.Graph, capFn CapacityFunc) {
+	n := g.NumNodes()
+	if n <= 1 {
+		return
+	}
+	for {
+		dist := g.BFSHops(0)
+		var orphan graph.NodeID = -1
+		for i, d := range dist {
+			if d < 0 {
+				orphan = graph.NodeID(i)
+				break
+			}
+		}
+		if orphan < 0 {
+			return
+		}
+		// Connect the orphan's component to a reachable node.
+		var target graph.NodeID
+		for {
+			target = graph.NodeID(src.IntN(n))
+			if dist[target] >= 0 {
+				break
+			}
+		}
+		fwd, rev := capFn()
+		if _, err := g.AddEdge(orphan, target, fwd, rev); err != nil {
+			// Only possible errors are self-loop/out-of-range, both
+			// excluded by construction.
+			panic(err)
+		}
+	}
+}
+
+// TopDegreeNodes returns the ids of the k highest-degree nodes, ties broken
+// by lower id. The paper's candidate smooth nodes are the "better" nodes for
+// outsourcing routing (more client connections, more funds); degree is the
+// excellence proxy used when no vote data is available.
+func TopDegreeNodes(g *graph.Graph, k int) []graph.NodeID {
+	n := g.NumNodes()
+	if k > n {
+		k = n
+	}
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	// Selection by partial sort (n is small enough; keep it simple and
+	// deterministic).
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			dj, db := g.Degree(ids[j]), g.Degree(ids[best])
+			if dj > db || (dj == db && ids[j] < ids[best]) {
+				best = j
+			}
+		}
+		ids[i], ids[best] = ids[best], ids[i]
+	}
+	return ids[:k]
+}
+
+// TotalFunds returns the sum of both directions' capacities over all
+// channels incident to u.
+func TotalFunds(g *graph.Graph, u graph.NodeID) float64 {
+	total := 0.0
+	for _, eid := range g.Incident(u) {
+		e := g.Edge(eid)
+		total += e.CapFwd + e.CapRev
+	}
+	return total
+}

@@ -1,0 +1,177 @@
+// Package transport provides the message-passing substrate for the Splicer
+// protocol layer: a reliable in-process bus for simulation and tests, and a
+// TCP transport (length-prefixed gob frames over stdlib net) standing in
+// for the TLS links of §III-A — the paper's clients and smooth nodes talk
+// over TLS; the framing and addressing here are the same shape, with the
+// crypto handled one layer up (payment demands are ElGamal-encrypted before
+// they ever reach a transport).
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Address identifies an endpoint.
+type Address string
+
+// Handler consumes an inbound message.
+type Handler func(from Address, payload []byte)
+
+// Transport delivers opaque payloads between addresses.
+type Transport interface {
+	// Register binds an address to a handler. An address can be registered
+	// once.
+	Register(addr Address, h Handler) error
+	// Send delivers payload to the addressee's handler.
+	Send(from, to Address, payload []byte) error
+	// Close releases resources.
+	Close() error
+}
+
+// InProc is a synchronous in-process bus. Sends invoke the receiving
+// handler directly; the caller provides any concurrency.
+type InProc struct {
+	mu       sync.RWMutex
+	handlers map[Address]Handler
+}
+
+// NewInProc returns an empty bus.
+func NewInProc() *InProc {
+	return &InProc{handlers: map[Address]Handler{}}
+}
+
+// Register implements Transport.
+func (t *InProc) Register(addr Address, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("transport: nil handler")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.handlers[addr]; dup {
+		return fmt.Errorf("transport: address %q already registered", addr)
+	}
+	t.handlers[addr] = h
+	return nil
+}
+
+// Send implements Transport.
+func (t *InProc) Send(from, to Address, payload []byte) error {
+	t.mu.RLock()
+	h, ok := t.handlers[to]
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("transport: unknown address %q", to)
+	}
+	// Copy the payload: receivers may retain it.
+	h(from, append([]byte(nil), payload...))
+	return nil
+}
+
+// Close implements Transport.
+func (t *InProc) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers = map[Address]Handler{}
+	return nil
+}
+
+// frame is the gob wire format of the TCP transport.
+type frame struct {
+	From    Address
+	To      Address
+	Payload []byte
+}
+
+// TCP is a transport running over loopback (or real) TCP. Each Register
+// spawns a listener; Send dials, writes one gob frame, and closes. The
+// design favors simplicity over connection reuse — protocol tests exchange
+// a handful of messages.
+type TCP struct {
+	mu        sync.Mutex
+	listeners map[Address]net.Listener
+	addrs     map[Address]string // logical address → host:port
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// NewTCP returns an empty TCP transport.
+func NewTCP() *TCP {
+	return &TCP{listeners: map[Address]net.Listener{}, addrs: map[Address]string{}}
+}
+
+// Register implements Transport: it binds a loopback listener for addr.
+func (t *TCP) Register(addr Address, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("transport: nil handler")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("transport: closed")
+	}
+	if _, dup := t.listeners[addr]; dup {
+		return fmt.Errorf("transport: address %q already registered", addr)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	t.listeners[addr] = ln
+	t.addrs[addr] = ln.Addr().String()
+	t.wg.Add(1)
+	go t.serve(ln, h)
+	return nil
+}
+
+func (t *TCP) serve(ln net.Listener, h Handler) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		func() {
+			defer conn.Close()
+			var f frame
+			if err := gob.NewDecoder(conn).Decode(&f); err != nil {
+				return // malformed frame dropped, like a broken TLS record
+			}
+			h(f.From, f.Payload)
+		}()
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(from, to Address, payload []byte) error {
+	t.mu.Lock()
+	hostport, ok := t.addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: unknown address %q", to)
+	}
+	conn, err := net.Dial("tcp", hostport)
+	if err != nil {
+		return fmt.Errorf("transport: dial %q: %w", to, err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(frame{From: from, To: to, Payload: payload}); err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	return nil
+}
+
+// Close implements Transport: stops all listeners and waits for readers.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	for _, ln := range t.listeners {
+		_ = ln.Close()
+	}
+	t.listeners = map[Address]net.Listener{}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInProcDelivery(t *testing.T) {
+	tr := NewInProc()
+	var got []byte
+	var from Address
+	if err := tr.Register("b", func(f Address, p []byte) { from, got = f, p }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send("a", "b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if from != "a" || string(got) != "hello" {
+		t.Fatalf("got %q from %q", got, from)
+	}
+}
+
+func TestInProcUnknownAddress(t *testing.T) {
+	tr := NewInProc()
+	if err := tr.Send("a", "nowhere", []byte("x")); err == nil {
+		t.Fatal("send to unknown address succeeded")
+	}
+}
+
+func TestInProcDuplicateRegister(t *testing.T) {
+	tr := NewInProc()
+	h := func(Address, []byte) {}
+	if err := tr.Register("a", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register("a", h); err == nil {
+		t.Fatal("duplicate register accepted")
+	}
+	if err := tr.Register("b", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestInProcPayloadCopied(t *testing.T) {
+	tr := NewInProc()
+	var got []byte
+	if err := tr.Register("b", func(_ Address, p []byte) { got = p }); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("mutate-me")
+	if err := tr.Send("a", "b", payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X'
+	if string(got) != "mutate-me" {
+		t.Fatal("receiver shares the sender's buffer")
+	}
+}
+
+func TestTCPDelivery(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	type msg struct {
+		from Address
+		p    []byte
+	}
+	ch := make(chan msg, 1)
+	if err := tr.Register("hub", func(f Address, p []byte) { ch <- msg{f, p} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send("client", "hub", []byte("payreq")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-ch:
+		if m.from != "client" || string(m.p) != "payreq" {
+			t.Fatalf("got %q from %q", m.p, m.from)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for TCP delivery")
+	}
+}
+
+func TestTCPUnknownAddress(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	if err := tr.Send("a", "ghost", []byte("x")); err == nil {
+		t.Fatal("send to unknown TCP address succeeded")
+	}
+}
+
+func TestTCPConcurrentSends(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	var mu sync.Mutex
+	count := 0
+	done := make(chan struct{})
+	const total = 32
+	if err := tr.Register("sink", func(Address, []byte) {
+		mu.Lock()
+		count++
+		if count == total {
+			close(done)
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tr.Send("src", "sink", []byte("m")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		mu.Lock()
+		got := count
+		mu.Unlock()
+		t.Fatalf("only %d/%d messages delivered", got, total)
+	}
+}
+
+func TestTCPRegisterAfterClose(t *testing.T) {
+	tr := NewTCP()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register("a", func(Address, []byte) {}); err == nil {
+		t.Fatal("register after close accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package voting implements the multiwinner election of the smooth-node
+// candidate list (§III-B trust model): entities vote through a smart
+// contract, and the tally balances the two properties the paper names —
+// excellence (candidates that are "better" for outsourcing routing: more
+// client connections, more funds, lower operational overhead) and diversity
+// (candidate positions spread across the network).
+//
+// The paper leaves the optimal multiwinner rule to future work and cites
+// Celis et al.; this package implements a greedy submodular-style rule:
+// repeatedly pick the candidate maximizing excellence + diversity gain,
+// which is the standard practical choice for this objective family.
+package voting
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/topology"
+)
+
+// Candidate is one node standing for the smooth-node list.
+type Candidate struct {
+	Node graph.NodeID
+	// Excellence components.
+	Connections int     // client connections (degree)
+	Funds       float64 // total channel funds
+	Overhead    float64 // operational overhead (lower is better)
+	// Votes from the community ballot.
+	Votes float64
+}
+
+// Ballot is one entity's approval vote: a set of candidates with weights.
+type Ballot map[graph.NodeID]float64
+
+// Config tunes the election.
+type Config struct {
+	// Winners is the size of the candidate list to elect.
+	Winners int
+	// DiversityWeight trades excellence against position diversity.
+	DiversityWeight float64
+	// Hops provides pairwise distances for the diversity term.
+	Hops [][]int
+}
+
+// CandidatesFromGraph derives candidate records for the top-degree nodes.
+func CandidatesFromGraph(g *graph.Graph, howMany int) []Candidate {
+	nodes := topology.TopDegreeNodes(g, howMany)
+	cands := make([]Candidate, len(nodes))
+	for i, v := range nodes {
+		cands[i] = Candidate{
+			Node:        v,
+			Connections: g.Degree(v),
+			Funds:       topology.TotalFunds(g, v),
+			// Overhead proxy: nodes with more channels to maintain pay more;
+			// normalized later.
+			Overhead: float64(g.Degree(v)) * 0.01,
+		}
+	}
+	return cands
+}
+
+// Tally applies ballots to the candidates (votes accumulate).
+func Tally(cands []Candidate, ballots []Ballot) []Candidate {
+	out := append([]Candidate(nil), cands...)
+	idx := map[graph.NodeID]int{}
+	for i, c := range out {
+		idx[c.Node] = i
+	}
+	for _, b := range ballots {
+		for node, w := range b {
+			if i, ok := idx[node]; ok && w > 0 {
+				out[i].Votes += w
+			}
+		}
+	}
+	return out
+}
+
+// excellence is a normalized score in [0, ~3]: votes, connections and funds
+// help; overhead hurts.
+func excellence(c Candidate, maxVotes float64, maxConn int, maxFunds, maxOver float64) float64 {
+	score := 0.0
+	if maxVotes > 0 {
+		score += c.Votes / maxVotes
+	}
+	if maxConn > 0 {
+		score += float64(c.Connections) / float64(maxConn)
+	}
+	if maxFunds > 0 {
+		score += c.Funds / maxFunds
+	}
+	if maxOver > 0 {
+		score -= 0.5 * c.Overhead / maxOver
+	}
+	return score
+}
+
+// Elect runs the greedy excellence+diversity selection and returns the
+// winning candidates in election order.
+func Elect(cands []Candidate, cfg Config) ([]Candidate, error) {
+	if cfg.Winners <= 0 {
+		return nil, fmt.Errorf("voting: winners must be positive, got %d", cfg.Winners)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("voting: no candidates")
+	}
+	if cfg.Winners > len(cands) {
+		cfg.Winners = len(cands)
+	}
+	var maxVotes, maxFunds, maxOver float64
+	maxConn := 0
+	for _, c := range cands {
+		if c.Votes > maxVotes {
+			maxVotes = c.Votes
+		}
+		if c.Connections > maxConn {
+			maxConn = c.Connections
+		}
+		if c.Funds > maxFunds {
+			maxFunds = c.Funds
+		}
+		if c.Overhead > maxOver {
+			maxOver = c.Overhead
+		}
+	}
+	// Diversity gain of adding candidate c to set S: min hop distance to S
+	// (farther = more diverse), normalized by the max pairwise distance.
+	maxHop := 1
+	if cfg.Hops != nil {
+		for _, row := range cfg.Hops {
+			for _, h := range row {
+				if h > maxHop {
+					maxHop = h
+				}
+			}
+		}
+	}
+	diversity := func(c Candidate, chosen []Candidate) float64 {
+		if cfg.Hops == nil || len(chosen) == 0 {
+			return 0
+		}
+		minHop := maxHop
+		for _, s := range chosen {
+			h := cfg.Hops[c.Node][s.Node]
+			if h >= 0 && h < minHop {
+				minHop = h
+			}
+		}
+		return float64(minHop) / float64(maxHop)
+	}
+
+	remaining := append([]Candidate(nil), cands...)
+	// Deterministic base order.
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i].Node < remaining[j].Node })
+	var chosen []Candidate
+	for len(chosen) < cfg.Winners {
+		best, bestScore := -1, 0.0
+		for i, c := range remaining {
+			score := excellence(c, maxVotes, maxConn, maxFunds, maxOver) +
+				cfg.DiversityWeight*diversity(c, chosen)
+			if best == -1 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		chosen = append(chosen, remaining[best])
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return chosen, nil
+}

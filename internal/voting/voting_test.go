@@ -1,0 +1,129 @@
+package voting
+
+import (
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/topology"
+)
+
+func testCandidates(t *testing.T) ([]Candidate, *graph.Graph) {
+	t.Helper()
+	g, err := topology.WattsStrogatz(rng.New(3), 40, 4, 0.3, topology.UniformCapacity(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CandidatesFromGraph(g, 10), g
+}
+
+func TestCandidatesFromGraph(t *testing.T) {
+	cands, g := testCandidates(t)
+	if len(cands) != 10 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	for _, c := range cands {
+		if c.Connections != g.Degree(c.Node) {
+			t.Fatalf("connections mismatch for %d", c.Node)
+		}
+		if c.Funds <= 0 {
+			t.Fatalf("candidate %d has no funds", c.Node)
+		}
+	}
+}
+
+func TestTallyAccumulates(t *testing.T) {
+	cands, _ := testCandidates(t)
+	ballots := []Ballot{
+		{cands[0].Node: 2, cands[1].Node: 1},
+		{cands[0].Node: 3},
+		{graph.NodeID(9999): 5}, // unknown candidate ignored
+	}
+	out := Tally(cands, ballots)
+	if out[0].Votes != 5 || out[1].Votes != 1 {
+		t.Fatalf("votes: %v, %v", out[0].Votes, out[1].Votes)
+	}
+	// Original slice untouched.
+	if cands[0].Votes != 0 {
+		t.Fatal("Tally mutated input")
+	}
+}
+
+func TestElectValidation(t *testing.T) {
+	cands, _ := testCandidates(t)
+	if _, err := Elect(cands, Config{Winners: 0}); err == nil {
+		t.Fatal("zero winners accepted")
+	}
+	if _, err := Elect(nil, Config{Winners: 3}); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+}
+
+func TestElectRespectsVotes(t *testing.T) {
+	cands, _ := testCandidates(t)
+	// Give overwhelming votes to the last candidate.
+	cands[len(cands)-1].Votes = 1000
+	winners, err := Elect(cands, Config{Winners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winners[0].Node != cands[len(cands)-1].Node {
+		t.Fatalf("winner %d, want most-voted %d", winners[0].Node, cands[len(cands)-1].Node)
+	}
+}
+
+func TestElectClampsWinners(t *testing.T) {
+	cands, _ := testCandidates(t)
+	winners, err := Elect(cands, Config{Winners: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(winners) != len(cands) {
+		t.Fatalf("got %d winners", len(winners))
+	}
+}
+
+func TestElectDiversitySpreads(t *testing.T) {
+	// Line graph: nodes 0..9. Candidates at 0,1,8,9 with equal excellence.
+	g := graph.New(10)
+	for i := 0; i < 9; i++ {
+		if _, err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 10, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cands := []Candidate{
+		{Node: 0, Connections: 1, Funds: 10},
+		{Node: 1, Connections: 1, Funds: 10},
+		{Node: 8, Connections: 1, Funds: 10},
+		{Node: 9, Connections: 1, Funds: 10},
+	}
+	hops := g.AllPairsHops()
+	winners, err := Elect(cands, Config{Winners: 2, DiversityWeight: 5, Hops: hops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two winners must not be adjacent (0,1 or 8,9 pairs rejected).
+	d := hops[winners[0].Node][winners[1].Node]
+	if d < 7 {
+		t.Fatalf("winners %d and %d too close (%d hops) despite diversity weight",
+			winners[0].Node, winners[1].Node, d)
+	}
+}
+
+func TestElectDeterministic(t *testing.T) {
+	cands, g := testCandidates(t)
+	hops := g.AllPairsHops()
+	w1, err := Elect(cands, Config{Winners: 4, DiversityWeight: 1, Hops: hops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Elect(cands, Config{Winners: 4, DiversityWeight: 1, Hops: hops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1 {
+		if w1[i].Node != w2[i].Node {
+			t.Fatal("election not deterministic")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package splicer
+
+import (
+	"testing"
+	"time"
+)
+
+func buildSmall(t *testing.T) (*Graph, []Tx) {
+	t.Helper()
+	g, err := BuildNetwork(NetworkSpec{Seed: 5, Nodes: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := GenerateWorkload(g, WorkloadSpec{Seed: 6, Rate: 40, Duration: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, trace
+}
+
+func TestBuildNetworkValidation(t *testing.T) {
+	if _, err := BuildNetwork(NetworkSpec{Nodes: 0}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestEndToEndPublicAPI(t *testing.T) {
+	g, trace := buildSmall(t)
+	sim, err := NewSimulation(g, Splicer,
+		WithPaths(4),
+		WithPathType("EDW"),
+		WithScheduler("LIFO"),
+		WithUpdateInterval(200*time.Millisecond),
+		WithHubCandidates(8),
+		WithPlacementOmega(0.5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TSR <= 0 || res.TSR > 1 {
+		t.Fatalf("TSR %v", res.TSR)
+	}
+	if len(sim.Hubs()) == 0 {
+		t.Fatal("no hubs")
+	}
+	if _, ok := sim.HubOf(sim.Hubs()[0]); ok {
+		t.Fatal("hub has a managing hub")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g, _ := buildSmall(t)
+	cases := []Option{
+		WithPaths(0),
+		WithPathType("nope"),
+		WithScheduler("nope"),
+		WithUpdateInterval(0),
+		WithHubs(),
+		WithPlacementOmega(-1),
+		WithHubCandidates(0),
+	}
+	for i, opt := range cases {
+		if _, err := NewSimulation(g.Clone(), Splicer, opt); err == nil {
+			t.Fatalf("case %d: invalid option accepted", i)
+		}
+	}
+}
+
+func TestWithHubsOverride(t *testing.T) {
+	g, trace := buildSmall(t)
+	sim, err := NewSimulation(g, Splicer, WithHubs(2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubs := sim.Hubs()
+	if len(hubs) != 2 || hubs[0] != 2 || hubs[1] != 9 {
+		t.Fatalf("hubs = %v", hubs)
+	}
+	if _, err := sim.Run(trace); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceHubsPublic(t *testing.T) {
+	g, _ := buildSmall(t)
+	candidates := TopDegreeNodes(g, 6)
+	candSet := map[NodeID]bool{}
+	for _, c := range candidates {
+		candSet[c] = true
+	}
+	var clients []NodeID
+	for i := 0; i < g.NumNodes(); i++ {
+		if !candSet[NodeID(i)] {
+			clients = append(clients, NodeID(i))
+		}
+	}
+	plan, err := PlaceHubs(g, clients, candidates, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Exact {
+		t.Fatal("6 candidates should use the exact solver")
+	}
+	if len(plan.Hubs) == 0 || len(plan.AssignedHub) != len(clients) {
+		t.Fatalf("plan: %+v", plan)
+	}
+	hubSet := map[NodeID]bool{}
+	for _, h := range plan.Hubs {
+		hubSet[h] = true
+	}
+	for _, h := range plan.AssignedHub {
+		if !hubSet[h] {
+			t.Fatalf("client assigned to unplaced hub %d", h)
+		}
+	}
+	if plan.TotalCost <= 0 {
+		t.Fatalf("cost %v", plan.TotalCost)
+	}
+}
+
+func TestGenerateWorkloadDefaults(t *testing.T) {
+	g, err := BuildNetwork(NetworkSpec{Seed: 1, Nodes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := GenerateWorkload(g, WorkloadSpec{Seed: 2, Rate: 20, Duration: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range trace {
+		if d := tx.Deadline - tx.Arrival; d < 3-1e-9 || d > 3+1e-9 {
+			t.Fatalf("default timeout not applied: %+v", tx)
+		}
+	}
+}
+
+func TestSchemeComparisonViaPublicAPI(t *testing.T) {
+	g, trace := buildSmall(t)
+	results := map[string]Result{}
+	for _, scheme := range []Scheme{Splicer, Spider, A2L} {
+		sim, err := NewSimulation(g.Clone(), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[scheme.String()] = res
+	}
+	if results["Splicer"].TSR < results["A2L"].TSR {
+		t.Fatalf("Splicer TSR %v below A2L %v", results["Splicer"].TSR, results["A2L"].TSR)
+	}
+}
