@@ -2,10 +2,14 @@
 // figure becomes a CSV under -out (default results/) plus a markdown table
 // on stdout.
 //
-//	experiments -run all            # everything (the large-scale runs take minutes)
-//	experiments -run fig7a,fig9b    # selected experiments
-//	experiments -run small          # all small-scale panels
+//	experiments -run all -parallel     # everything, sweep grids on all cores
+//	experiments -run fig7a,fig9b       # selected experiments
+//	experiments -run small -seeds 5    # small-scale panels, 5-seed means
 //	experiments -list
+//
+// -parallel (or -workers N) fans each figure's scheme × x × seed grid out
+// over the internal/sweep worker pool; results are byte-identical to the
+// serial run.
 package main
 
 import (
@@ -23,14 +27,30 @@ type runner func() (experiments.Table, error)
 
 func main() {
 	var (
-		runArg = flag.String("run", "", "comma-separated experiment ids, or 'all', 'small', 'large'")
-		outDir = flag.String("out", "results", "output directory for CSV files")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		runArg   = flag.String("run", "", "comma-separated experiment ids, or 'all', 'small', 'large'")
+		outDir   = flag.String("out", "results", "output directory for CSV files")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Bool("parallel", false, "run sweep grids on all cores (identical results, much faster)")
+		workers  = flag.Int("workers", 0, "explicit sweep worker count; a value > 0 takes precedence over -parallel")
+		seeds    = flag.Int("seeds", 1, "seeds per sweep cell; figure points report the across-seed mean")
 	)
 	flag.Parse()
 
 	small := experiments.SmallScale()
 	large := experiments.LargeScale()
+	for _, scen := range []*experiments.Scenario{&small, &large} {
+		switch {
+		case *workers > 0:
+			scen.Workers = *workers
+		case *parallel:
+			scen.Workers = -1 // all cores
+		}
+		if *seeds > 1 {
+			for i := 0; i < *seeds; i++ {
+				scen.Seeds = append(scen.Seeds, scen.Seed+uint64(i))
+			}
+		}
+	}
 
 	seriesTable := func(title, x string, f func(experiments.Scenario) ([]experiments.Series, error), scen experiments.Scenario) runner {
 		return func() (experiments.Table, error) {

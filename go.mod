@@ -1,0 +1,3 @@
+module github.com/splicer-pcn/splicer
+
+go 1.22

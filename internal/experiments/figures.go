@@ -8,6 +8,7 @@ import (
 	"github.com/splicer-pcn/splicer/internal/pcn"
 	"github.com/splicer-pcn/splicer/internal/placement"
 	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/sweep"
 	"github.com/splicer-pcn/splicer/internal/topology"
 	"github.com/splicer-pcn/splicer/internal/workload"
 )
@@ -31,36 +32,58 @@ const (
 	metricThroughput
 )
 
-func (m metric) of(r pcn.Result) float64 {
+func (m metric) of(s sweep.Summary) float64 {
 	if m == metricThroughput {
-		return r.NormalizedThroughput
+		return s.Throughput.Mean
 	}
-	return r.TSR
+	return s.TSR.Mean
 }
 
-// sweep runs all schemes over a scenario mutation grid.
-func sweep(base Scenario, xs []float64, m metric, apply func(Scenario, float64) (Scenario, func(*pcn.Config))) ([]Series, error) {
+// sweepFigure runs all schemes over a scenario mutation grid on the sweep
+// engine: every (x, scheme, seed) cell becomes an independent simulation on
+// the scenario's worker pool, and each figure point is the across-seed mean.
+// Cell order is fixed (x-major, then scheme, then seed) and aggregation
+// folds in that order, so the series are identical for any worker count.
+func sweepFigure(base Scenario, axis string, xs []float64, m metric, apply func(Scenario, float64) (Scenario, func(*pcn.Config))) ([]Series, error) {
+	var cells []sweep.Cell
+	for _, x := range xs {
+		scen, mutate := apply(base, x)
+		for _, scheme := range Schemes {
+			for _, seed := range scen.seedList() {
+				cell := scen
+				cell.Seed = seed
+				cells = append(cells, cell.Cell(scheme, axis, x, "", mutate))
+			}
+		}
+	}
+	results := sweep.Run(cells, base.workerCount())
+	if err := sweep.FirstErr(results); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	byKey := map[figKey]sweep.Summary{}
+	for _, s := range sweep.Aggregate(results) {
+		byKey[figKey{s.Scheme, s.X}] = s
+	}
 	out := make([]Series, len(Schemes))
 	for si, scheme := range Schemes {
 		out[si].Name = scheme.String()
-	}
-	for _, x := range xs {
-		scen, mutate := apply(base, x)
-		for si, scheme := range Schemes {
-			res, err := scen.RunScheme(scheme, mutate)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %v at x=%v: %w", scheme, x, err)
-			}
-			out[si].Points = append(out[si].Points, Point{X: x, Y: m.of(res)})
+		for _, x := range xs {
+			out[si].Points = append(out[si].Points, Point{X: x, Y: m.of(byKey[figKey{scheme, x}])})
 		}
 	}
 	return out, nil
 }
 
+// figKey addresses one figure point in the aggregated sweep output.
+type figKey struct {
+	scheme pcn.Scheme
+	x      float64
+}
+
 // FigChannelSize is Fig. 7(a) (small) / Fig. 8(a) (large): TSR vs channel
 // size scale.
 func FigChannelSize(base Scenario) ([]Series, error) {
-	return sweep(base, ChannelScaleSweep, metricTSR, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
+	return sweepFigure(base, "channel_scale", ChannelScaleSweep, metricTSR, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
 		s.ChannelScale = x
 		return s, nil
 	})
@@ -68,7 +91,7 @@ func FigChannelSize(base Scenario) ([]Series, error) {
 
 // FigTxnSize is Fig. 7(b) / 8(b): TSR vs transaction size scale.
 func FigTxnSize(base Scenario) ([]Series, error) {
-	return sweep(base, ValueScaleSweep, metricTSR, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
+	return sweepFigure(base, "value_scale", ValueScaleSweep, metricTSR, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
 		s.ValueScale = x
 		return s, nil
 	})
@@ -76,14 +99,14 @@ func FigTxnSize(base Scenario) ([]Series, error) {
 
 // FigUpdateTime is Fig. 7(c) / 8(c): TSR vs update time τ (ms).
 func FigUpdateTime(base Scenario) ([]Series, error) {
-	return sweep(base, TauSweepMs, metricTSR, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
+	return sweepFigure(base, "tau_ms", TauSweepMs, metricTSR, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
 		return s, func(c *pcn.Config) { c.UpdateTau = x / 1000 }
 	})
 }
 
 // FigThroughput is Fig. 7(d) / 8(d): normalized throughput vs update time.
 func FigThroughput(base Scenario) ([]Series, error) {
-	return sweep(base, TauSweepMs, metricThroughput, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
+	return sweepFigure(base, "tau_ms", TauSweepMs, metricThroughput, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
 		return s, func(c *pcn.Config) { c.UpdateTau = x / 1000 }
 	})
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/splicer-pcn/splicer/internal/graph"
 	"github.com/splicer-pcn/splicer/internal/pcn"
 	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/sweep"
 	"github.com/splicer-pcn/splicer/internal/topology"
 	"github.com/splicer-pcn/splicer/internal/workload"
 )
@@ -42,6 +43,13 @@ type Scenario struct {
 	CirculationFraction float64
 	// HubCandidates for Splicer's placement.
 	HubCandidates int
+	// Seeds optionally replicates every sweep cell across multiple seeds;
+	// figure points then report the across-seed mean. Empty means the single
+	// Seed above (the seed-compatible default).
+	Seeds []uint64
+	// Workers bounds the sweep worker pool: 0 or 1 runs serially, N > 1 in
+	// parallel, < 0 uses all cores. Results are identical for any value.
+	Workers int
 }
 
 // SmallScale returns the paper's small-scale scenario (100 nodes). The
@@ -104,23 +112,57 @@ func (s Scenario) Build() (*graph.Graph, []workload.Tx, error) {
 	return g, trace, nil
 }
 
+// seedList returns the replication seeds (the scenario's own seed when no
+// explicit list is set).
+func (s Scenario) seedList() []uint64 {
+	if len(s.Seeds) > 0 {
+		return s.Seeds
+	}
+	return []uint64{s.Seed}
+}
+
+// workerCount maps the Workers knob to a sweep.Run argument.
+func (s Scenario) workerCount() int {
+	switch {
+	case s.Workers < 0:
+		return 0 // all cores
+	case s.Workers == 0:
+		return 1 // serial default
+	default:
+		return s.Workers
+	}
+}
+
+// Cell packages one (scheme, config-mutation) run of the scenario as a
+// sweep cell: the builder materializes a private graph and trace, so cells
+// are safe to run on parallel workers.
+func (s Scenario) Cell(scheme pcn.Scheme, axis string, x float64, label string, mutate func(*pcn.Config)) sweep.Cell {
+	return sweep.Cell{
+		Scheme: scheme,
+		Seed:   s.Seed,
+		Axis:   axis,
+		X:      x,
+		Label:  label,
+		Build: func() (*graph.Graph, []workload.Tx, pcn.Config, error) {
+			g, trace, err := s.Build()
+			if err != nil {
+				return nil, nil, pcn.Config{}, err
+			}
+			cfg := pcn.NewConfig(scheme)
+			cfg.NumHubCandidates = s.HubCandidates
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			return g, trace, cfg, nil
+		},
+	}
+}
+
 // RunScheme executes one scheme on the scenario with optional config
 // mutation.
 func (s Scenario) RunScheme(scheme pcn.Scheme, mutate func(*pcn.Config)) (pcn.Result, error) {
-	g, trace, err := s.Build()
-	if err != nil {
-		return pcn.Result{}, err
-	}
-	cfg := pcn.NewConfig(scheme)
-	cfg.NumHubCandidates = s.HubCandidates
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	n, err := pcn.NewNetwork(g, cfg)
-	if err != nil {
-		return pcn.Result{}, err
-	}
-	return n.Run(trace)
+	out := sweep.RunCell(s.Cell(scheme, "", 0, "", mutate))
+	return out.Result, out.Err
 }
 
 // Schemes compared in Figs. 7-8, in the paper's legend order.

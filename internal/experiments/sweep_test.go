@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/routing"
+)
+
+// TestFigureSweepWorkerInvariance: a multi-seed figure sweep must emit
+// byte-identical series whether it runs serially or on a full worker pool.
+// This is the CI-fast smoke test for the parallel sweep path under the
+// figure runners.
+func TestFigureSweepWorkerInvariance(t *testing.T) {
+	old := ValueScaleSweep
+	ValueScaleSweep = []float64{1, 4}
+	defer func() { ValueScaleSweep = old }()
+
+	base := tinyScenario()
+	base.Duration = 1.5
+	base.Seeds = []uint64{1, 2}
+
+	run := func(workers int) string {
+		s := base
+		s.Workers = workers
+		series, err := FigTxnSize(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", series)
+	}
+	serial := run(0)
+	if parallel := run(-1); parallel != serial {
+		t.Fatalf("parallel series diverged from serial:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}
+
+// TestTableIIWorkerInvariance: the routing-choice study must be identical
+// serial vs parallel.
+func TestTableIIWorkerInvariance(t *testing.T) {
+	base := tinyScenario()
+	base.Duration = 1.5
+	opts := TableIIOptions{
+		PathNumbers: []int{1, 5},
+		PathTypes:   []routing.PathType{routing.EDW},
+		Schedulers:  []string{"LIFO"},
+		SkipLarge:   true,
+	}
+
+	run := func(workers int) string {
+		s := base
+		s.Workers = workers
+		rows, err := TableII(s, s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", rows)
+	}
+	serial := run(0)
+	if parallel := run(-1); parallel != serial {
+		t.Fatalf("parallel Table II diverged from serial:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/splicer-pcn/splicer/internal/channel"
 	"github.com/splicer-pcn/splicer/internal/pcn"
 	"github.com/splicer-pcn/splicer/internal/routing"
+	"github.com/splicer-pcn/splicer/internal/sweep"
 )
 
 // TableI reproduces the paper's qualitative property matrix (Table I):
@@ -64,51 +65,62 @@ func (o *TableIIOptions) fill() {
 
 // TableII reproduces the routing-choice study: Splicer's TSR for each path
 // type, path count, and queue scheduling algorithm, at small and large
-// scales.
+// scales. All cells run on the sweep worker pool (the small scenario's
+// Workers knob); cell order is fixed so the rows are identical for any
+// worker count.
 func TableII(small, large Scenario, opts TableIIOptions) ([]TableIIRow, error) {
 	opts.fill()
-	var rows []TableIIRow
-	run := func(scen Scenario, mutate func(*pcn.Config)) (float64, error) {
-		res, err := scen.RunScheme(pcn.SchemeSplicer, mutate)
-		if err != nil {
-			return 0, err
-		}
-		return res.TSR, nil
+	type choice struct {
+		group, name string
+		mutate      func(*pcn.Config)
 	}
-	both := func(group, choice string, mutate func(*pcn.Config)) error {
-		s, err := run(small, mutate)
-		if err != nil {
-			return fmt.Errorf("experiments: table II %s/%s small: %w", group, choice, err)
-		}
-		l := 0.0
-		if !opts.SkipLarge {
-			l, err = run(large, mutate)
-			if err != nil {
-				return fmt.Errorf("experiments: table II %s/%s large: %w", group, choice, err)
-			}
-		}
-		rows = append(rows, TableIIRow{Group: group, Choice: choice, Small: s, Large: l})
-		return nil
-	}
+	var choices []choice
 	for _, pt := range opts.PathTypes {
 		pt := pt
-		if err := both("Path Type", pt.String(), func(c *pcn.Config) { c.PathType = pt }); err != nil {
-			return nil, err
-		}
+		choices = append(choices, choice{"Path Type", pt.String(), func(c *pcn.Config) { c.PathType = pt }})
 	}
 	for _, k := range opts.PathNumbers {
 		k := k
-		if err := both("Path Number", fmt.Sprintf("%d", k), func(c *pcn.Config) { c.NumPaths = k }); err != nil {
-			return nil, err
-		}
+		choices = append(choices, choice{"Path Number", fmt.Sprintf("%d", k), func(c *pcn.Config) { c.NumPaths = k }})
 	}
 	for _, name := range opts.Schedulers {
 		sched, err := channel.SchedulerByName(name)
 		if err != nil {
 			return nil, err
 		}
-		if err := both("Scheduling Algorithm", name, func(c *pcn.Config) { c.Scheduler = sched }); err != nil {
-			return nil, err
+		choices = append(choices, choice{"Scheduling Algorithm", name, func(c *pcn.Config) { c.Scheduler = sched }})
+	}
+	// One cell per (choice, scale, seed); each (choice, scale) group keys on
+	// its label and the rows report the across-seed mean TSR.
+	var cells []sweep.Cell
+	addCells := func(scen Scenario, label string, mutate func(*pcn.Config)) {
+		for _, seed := range scen.seedList() {
+			cell := scen
+			cell.Seed = seed
+			cells = append(cells, cell.Cell(pcn.SchemeSplicer, "scale", 0, label, mutate))
+		}
+	}
+	for _, ch := range choices {
+		label := ch.group + "/" + ch.name
+		addCells(small, label+" small", ch.mutate)
+		if !opts.SkipLarge {
+			addCells(large, label+" large", ch.mutate)
+		}
+	}
+	results := sweep.Run(cells, small.workerCount())
+	if err := sweep.FirstErr(results); err != nil {
+		return nil, fmt.Errorf("experiments: table II: %w", err)
+	}
+	tsrByLabel := map[string]float64{}
+	for _, s := range sweep.Aggregate(results) {
+		tsrByLabel[s.Label] = s.TSR.Mean
+	}
+	rows := make([]TableIIRow, len(choices))
+	for i, ch := range choices {
+		label := ch.group + "/" + ch.name
+		rows[i] = TableIIRow{Group: ch.group, Choice: ch.name, Small: tsrByLabel[label+" small"]}
+		if !opts.SkipLarge {
+			rows[i].Large = tsrByLabel[label+" large"]
 		}
 	}
 	return rows, nil

@@ -1,7 +1,6 @@
 package pcn
 
 import (
-	"math"
 	"sort"
 
 	"github.com/splicer-pcn/splicer/internal/channel"
@@ -47,50 +46,22 @@ type tuRun struct {
 
 // onArrival is the entry point for a generated payment: it models the
 // route-computation service time (at the sender for source routing, at the
-// managing hub for Splicer/A2L) and then dispatches.
+// managing hub for hub-based policies) and then dispatches. Which node pays
+// the compute cost, and any epoch alignment, come from the SchemePolicy.
 func (n *Network) onArrival(tx workload.Tx) {
 	n.metrics.Add("tx_generated", 1)
-	owner, service := n.computeOwner(tx)
+	owner, service := n.policy.ComputeOwner(n, tx)
 	now := n.engine.Now()
 	free := n.cpuFree[owner]
 	if free < now {
 		free = now
 	}
-	if n.cfg.Scheme == SchemeA2L {
-		// The tumbler's puzzle-promise protocol runs in epochs aligned to
-		// the update interval: payments wait for the next epoch boundary
-		// before the crypto exchange starts. This is why A2L's TSR is the
-		// most sensitive to the update time in Figs. 7(c)/8(c).
-		tau := n.cfg.UpdateTau
-		epoch := math.Ceil(free/tau) * tau
-		if epoch > free {
-			free = epoch
-		}
-	}
+	free = n.policy.AlignDispatch(n, free)
 	start := free + service
 	n.cpuFree[owner] = start
 	if _, err := n.engine.Schedule(start, 2, func() { n.dispatch(tx) }); err != nil {
 		// Scheduling in the past is impossible here (start >= now).
 		panic(err)
-	}
-}
-
-// computeOwner returns the node whose (serialized) CPU performs the route
-// computation for this payment, and the service time.
-func (n *Network) computeOwner(tx workload.Tx) (graph.NodeID, float64) {
-	switch n.cfg.Scheme {
-	case SchemeSplicer:
-		hub := n.hubOf[tx.Sender]
-		if n.isHub[tx.Sender] {
-			hub = tx.Sender
-		}
-		return hub, n.cfg.HubComputeDelay
-	case SchemeA2L:
-		return n.hubs[0], n.cfg.A2LCryptoDelay
-	default:
-		// Source routing: the sender's own machine computes routes over the
-		// full topology; cost grows with network size.
-		return tx.Sender, n.cfg.SenderComputeDelayPerNode * float64(n.g.NumNodes())
 	}
 }
 
@@ -102,7 +73,7 @@ func (n *Network) dispatch(tx workload.Tx) {
 		n.failTx(&txRun{tx: tx, live: map[*tuRun]bool{}}, "compute_backlog")
 		return
 	}
-	paths, allocs, err := n.planPayment(tx)
+	paths, allocs, err := n.policy.Plan(n, tx)
 	if err != nil || len(paths) == 0 || len(allocs) == 0 {
 		n.failTx(&txRun{tx: tx, live: map[*tuRun]bool{}}, "no_route")
 		return
@@ -132,8 +103,8 @@ func (n *Network) dispatch(tx workload.Tx) {
 		tu := &tuRun{
 			id:      n.nextTUID,
 			tx:      run,
-			pathIdx: a.pathIdx,
-			value:   a.value,
+			pathIdx: a.PathIdx,
+			value:   a.Value,
 		}
 		n.nextTUID++
 		if rateControlled {
@@ -152,12 +123,6 @@ func (n *Network) dispatch(tx workload.Tx) {
 		panic(err)
 	}
 	run.deadline = ev
-}
-
-// allocation is a planned (path, value) assignment for one TU.
-type allocation struct {
-	pathIdx int
-	value   float64
 }
 
 // drainPending dispatches waiting TUs of a payment while window room
@@ -458,11 +423,7 @@ func (n *Network) drainQueue(ch *channel.Channel, dir channel.Direction) {
 // based rate updates (eq. 26).
 func (n *Network) onTauTick() {
 	now := n.engine.Now()
-	if n.cfg.Scheme == SchemeFlash {
-		// Source routers see balances only as fresh as the last gossip
-		// round; refresh the snapshot Flash plans against.
-		n.flashView = n.balanceView()
-	}
+	n.policy.OnTick(n)
 	for _, ch := range n.chans {
 		if n.usesPrices() {
 			ch.UpdatePrices(n.cfg.Kappa, n.cfg.Eta)

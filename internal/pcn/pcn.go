@@ -37,28 +37,16 @@ const (
 )
 
 func (s Scheme) String() string {
-	switch s {
-	case SchemeSplicer:
-		return "Splicer"
-	case SchemeSpider:
-		return "Spider"
-	case SchemeFlash:
-		return "Flash"
-	case SchemeLandmark:
-		return "Landmark"
-	case SchemeA2L:
-		return "A2L"
-	case SchemeShortestPath:
-		return "ShortestPath"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
+	if r, ok := lookupScheme(s); ok {
+		return r.name
 	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
-// SchemeByName parses a scheme name.
+// SchemeByName parses a scheme name against the policy registry.
 func SchemeByName(name string) (Scheme, error) {
-	for _, s := range []Scheme{SchemeSplicer, SchemeSpider, SchemeFlash, SchemeLandmark, SchemeA2L, SchemeShortestPath} {
-		if s.String() == name {
+	for _, s := range registeredSchemes() {
+		if r, ok := lookupScheme(s); ok && r.name == name {
 			return s, nil
 		}
 	}
@@ -69,6 +57,12 @@ func SchemeByName(name string) (Scheme, error) {
 // defaults.
 type Config struct {
 	Scheme Scheme
+
+	// Policy overrides the registry: when non-nil, NewNetwork uses this
+	// SchemePolicy instance (which may be a custom or hybrid scheme) instead
+	// of instantiating the one registered for Scheme. A policy instance is
+	// stateful and must not be shared across networks.
+	Policy SchemePolicy
 
 	// NumPaths is k, the number of multi-paths (paper: 5).
 	NumPaths int
@@ -169,8 +163,10 @@ func NewConfig(scheme Scheme) Config {
 
 // Validate checks configuration sanity.
 func (c *Config) Validate() error {
-	if c.Scheme < SchemeSplicer || c.Scheme > SchemeShortestPath {
-		return fmt.Errorf("pcn: invalid scheme %d", int(c.Scheme))
+	if c.Policy == nil {
+		if _, ok := lookupScheme(c.Scheme); !ok {
+			return fmt.Errorf("pcn: invalid scheme %d", int(c.Scheme))
+		}
 	}
 	if c.NumPaths <= 0 {
 		return fmt.Errorf("pcn: NumPaths must be positive")
@@ -191,9 +187,13 @@ func (c *Config) Validate() error {
 // control.
 type pairKey struct{ s, e graph.NodeID }
 
-// Network is a live PCN simulation instance.
+// Network is a live PCN simulation instance. All scheme-specific behavior is
+// delegated to its SchemePolicy; the network owns only the shared
+// infrastructure (channels, hub bookkeeping, path cache, rate controllers,
+// the event engine and metrics).
 type Network struct {
 	cfg     Config
+	policy  SchemePolicy
 	g       *graph.Graph
 	chans   []*channel.Channel // indexed by EdgeID
 	engine  *sim.Engine
@@ -208,15 +208,6 @@ type Network struct {
 	// Serialized compute resources: next-free time per sender (source
 	// routing) or per hub.
 	cpuFree map[graph.NodeID]float64
-
-	// landmarks for the Landmark scheme.
-	landmarks []graph.NodeID
-
-	// flashMice caches precomputed mice paths per pair; flashView is the
-	// τ-stale balance snapshot Flash's max-flow runs against (source
-	// routers only learn balances from the periodic gossip).
-	flashMice map[pairKey][]graph.Path
-	flashView *graph.Graph
 
 	nextTUID uint64
 
@@ -234,8 +225,17 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 	if g.NumNodes() < 3 {
 		return nil, fmt.Errorf("pcn: need at least 3 nodes, got %d", g.NumNodes())
 	}
+	policy := cfg.Policy
+	if policy == nil {
+		var err error
+		policy, err = policyFor(cfg.Scheme)
+		if err != nil {
+			return nil, err
+		}
+	}
 	n := &Network{
 		cfg:         cfg,
+		policy:      policy,
 		g:           g,
 		chans:       make([]*channel.Channel, g.NumEdges()),
 		engine:      sim.NewEngine(),
@@ -245,7 +245,6 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 		pathsFor:    map[pairKey][]graph.Path{},
 		rateCtl:     map[pairKey]*routing.RateController{},
 		cpuFree:     map[graph.NodeID]float64{},
-		flashMice:   map[pairKey][]graph.Path{},
 		txState:     map[int]*txRun{},
 		queuedIndex: map[*channel.QueuedTU]*tuRun{},
 	}
@@ -258,53 +257,31 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 		ch.QueueLimit = cfg.QueueLimit
 		n.chans[i] = ch
 	}
-	if err := n.setupScheme(); err != nil {
+	if err := n.policy.Setup(n); err != nil {
 		return nil, err
 	}
 	return n, nil
 }
 
-// setupScheme performs per-scheme initialization: hub placement for
-// Splicer, the tumbler hub for A2L, landmarks for Landmark.
-func (n *Network) setupScheme() error {
-	switch n.cfg.Scheme {
-	case SchemeSplicer:
-		hubs := n.cfg.Hubs
-		if len(hubs) == 0 {
-			var err error
-			hubs, err = n.placeHubs()
-			if err != nil {
-				return err
-			}
-		}
-		n.hubs = hubs
-		for _, h := range hubs {
-			n.isHub[h] = true
-		}
-		n.assignClients()
-		n.reshapeMultiStar()
-		n.capitalizeHubs()
-	case SchemeA2L:
-		hub := topology.TopDegreeNodes(n.g, 1)[0]
-		n.hubs = []graph.NodeID{hub}
-		n.isHub[hub] = true
-		for i := 0; i < n.g.NumNodes(); i++ {
-			n.hubOf[graph.NodeID(i)] = hub
-		}
-		n.reshapeMultiStar()
-		n.capitalizeHubs()
-	case SchemeLandmark:
-		n.landmarks = topology.TopDegreeNodes(n.g, n.cfg.NumPaths)
+// SetHubs installs the policy's hub set (SchemePolicy.Setup).
+func (n *Network) SetHubs(hubs []graph.NodeID) {
+	n.hubs = append([]graph.NodeID(nil), hubs...)
+	for _, h := range hubs {
+		n.isHub[h] = true
 	}
-	return nil
 }
 
-// reshapeMultiStar realizes Definition 1's multi-star topology: during
+// SetManagingHub assigns a client to a managing hub (SchemePolicy.Setup).
+func (n *Network) SetManagingHub(client, hub graph.NodeID) {
+	n.hubOf[client] = hub
+}
+
+// ReshapeMultiStar realizes Definition 1's multi-star topology: during
 // payment preparation each client opens a direct payment channel with its
 // managing hub (§III-A), funded with the client's typical channel size. The
 // original graph remains as the hub-to-hub transit backbone. NewNetwork
 // owns the graph, so adding edges here is safe.
-func (n *Network) reshapeMultiStar() {
+func (n *Network) ReshapeMultiStar() {
 	for v := 0; v < n.g.NumNodes(); v++ {
 		client := graph.NodeID(v)
 		if n.isHub[client] {
@@ -342,10 +319,10 @@ func (n *Network) reshapeMultiStar() {
 	}
 }
 
-// capitalizeHubs scales the funds of hub-incident channels by
+// CapitalizeHubs scales the funds of hub-incident channels by
 // HubCapitalBoost: taking the hub role comes with pledging capital into the
-// hub's channels.
-func (n *Network) capitalizeHubs() {
+// hub's channels (SchemePolicy.Setup).
+func (n *Network) CapitalizeHubs() {
 	if n.cfg.HubCapitalBoost <= 1 {
 		return
 	}
@@ -459,6 +436,13 @@ func (n *Network) Channel(id graph.EdgeID) *channel.Channel { return n.chans[id]
 // Graph returns the underlying topology.
 func (n *Network) Graph() *graph.Graph { return n.g }
 
+// Config returns the simulation parameters (for SchemePolicy
+// implementations outside this package).
+func (n *Network) Config() Config { return n.cfg }
+
+// Policy returns the scheme policy driving this network.
+func (n *Network) Policy() SchemePolicy { return n.policy }
+
 // Hubs returns the scheme's hub set (nil for source-routing schemes).
 func (n *Network) Hubs() []graph.NodeID { return append([]graph.NodeID(nil), n.hubs...) }
 
@@ -499,9 +483,9 @@ func (n *Network) Run(trace []workload.Tx) (Result, error) {
 	}
 	horizon := trace[len(trace)-1].Deadline + 1
 	// Periodic price updates + queue maintenance (Splicer; Spider uses
-	// windows only but still needs queue staleness marking; Flash refreshes
-	// its stale balance snapshot).
-	if n.usesQueues() || n.usesPrices() || n.cfg.Scheme == SchemeFlash {
+	// windows only but still needs queue staleness marking; Flash asks for
+	// ticks to refresh its stale balance snapshot).
+	if n.usesQueues() || n.usesPrices() || n.policy.WantsTick() {
 		if err := n.engine.Every(n.cfg.UpdateTau, horizon, 0, n.onTauTick); err != nil {
 			return Result{}, err
 		}
@@ -523,25 +507,14 @@ func (n *Network) Run(trace []workload.Tx) (Result, error) {
 	return n.summarize(trace), nil
 }
 
-func (n *Network) usesQueues() bool {
-	return n.cfg.Scheme == SchemeSplicer || n.cfg.Scheme == SchemeSpider
-}
+func (n *Network) usesQueues() bool { return n.policy.UsesQueues() }
 
-func (n *Network) usesPrices() bool {
-	return n.cfg.Scheme == SchemeSplicer
-}
+func (n *Network) usesPrices() bool { return n.policy.UsesPrices() }
 
-func (n *Network) splitsTUs() bool {
-	switch n.cfg.Scheme {
-	case SchemeSplicer, SchemeSpider:
-		return true
-	default:
-		return false
-	}
-}
+func (n *Network) splitsTUs() bool { return n.policy.SplitsTUs() }
 
 func (n *Network) summarize(trace []workload.Tx) Result {
-	r := Result{Scheme: n.cfg.Scheme, Generated: len(trace)}
+	r := Result{Scheme: n.policy.Scheme(), Generated: len(trace)}
 	for _, tx := range trace {
 		r.GeneratedValue += tx.Value
 	}

@@ -1,0 +1,170 @@
+package pcn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// Allocation is a planned (path, value) assignment for one transaction unit.
+// PathIdx == -1 defers the path choice to the rate controller at send time
+// (rate-controlled schemes).
+type Allocation struct {
+	PathIdx int
+	Value   float64
+}
+
+// SchemePolicy encapsulates every scheme-specific decision of the simulator.
+// The payment lifecycle in payment.go is scheme-agnostic: it consults the
+// network's policy at the hook points below and never branches on the scheme
+// identifier. New schemes — including hybrids — implement this interface and
+// either register via RegisterPolicy or inject through Config.Policy; the
+// core lifecycle needs no change.
+//
+// A policy owns its scheme-private state (e.g. Flash's stale balance
+// snapshot, Landmark's landmark set). Shared infrastructure — hub bookkeeping,
+// the per-pair path cache, rate controllers — lives on Network behind
+// exported accessors so out-of-package policies can use it too.
+type SchemePolicy interface {
+	// Scheme is the identifier reported in results and metrics.
+	Scheme() Scheme
+
+	// Setup runs once at network construction: hub placement, multi-star
+	// topology reshaping, landmark election, capital boosts.
+	Setup(n *Network) error
+
+	// ComputeOwner returns the node whose serialized CPU performs the route
+	// computation for this payment, and the service time it costs.
+	ComputeOwner(n *Network, tx workload.Tx) (graph.NodeID, float64)
+
+	// AlignDispatch may delay the owner's next-free time before the service
+	// time is added (A2L's epoch-aligned puzzle-promise protocol). The
+	// default is the identity.
+	AlignDispatch(n *Network, free float64) float64
+
+	// Plan computes the path set and per-TU allocations for a payment.
+	// Returning an empty path or allocation set fails the payment with
+	// "no_route".
+	Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error)
+
+	// UsesQueues enables channel waiting queues (Splicer, Spider).
+	UsesQueues() bool
+	// UsesPrices enables the τ-periodic capacity/imbalance price updates and
+	// probe-based rate feedback (Splicer).
+	UsesPrices() bool
+	// SplitsTUs enables demand splitting with window/rate control (Splicer,
+	// Spider).
+	SplitsTUs() bool
+
+	// WantsTick requests τ-periodic OnTick callbacks even when the policy
+	// uses neither queues nor prices (Flash's gossip snapshot refresh).
+	WantsTick() bool
+	// OnTick runs at each τ boundary, before channel maintenance.
+	OnTick(n *Network)
+}
+
+// basePolicy provides the default hook implementations: source routing on
+// the sender's machine, no queues, no prices, no splitting, no ticks.
+// Concrete policies embed it and override what they need.
+type basePolicy struct{ scheme Scheme }
+
+func (b basePolicy) Scheme() Scheme          { return b.scheme }
+func (basePolicy) Setup(*Network) error      { return nil }
+func (basePolicy) UsesQueues() bool          { return false }
+func (basePolicy) UsesPrices() bool          { return false }
+func (basePolicy) SplitsTUs() bool           { return false }
+func (basePolicy) WantsTick() bool           { return false }
+func (basePolicy) OnTick(*Network)           {}
+func (basePolicy) AlignDispatch(_ *Network, free float64) float64 { return free }
+
+// ComputeOwner defaults to source routing: the sender's own machine computes
+// routes over the full topology, so the cost grows with network size.
+func (basePolicy) ComputeOwner(n *Network, tx workload.Tx) (graph.NodeID, float64) {
+	return tx.Sender, n.cfg.SenderComputeDelayPerNode * float64(n.g.NumNodes())
+}
+
+// registration binds a Scheme identifier to its display name and policy
+// constructor.
+type registration struct {
+	name    string
+	factory func() SchemePolicy
+}
+
+var (
+	registryMu     sync.RWMutex
+	policyRegistry = map[Scheme]registration{}
+)
+
+// RegisterPolicy makes a scheme available to NewNetwork, Scheme.String and
+// SchemeByName. The built-in schemes self-register; external packages can
+// register additional Scheme identifiers (pick values above
+// SchemeShortestPath). Registering a duplicate identifier or name panics.
+// Registration is safe for concurrent use with lookups (parallel sweep
+// workers read the registry), but register schemes before building the
+// sweeps that use them.
+func RegisterPolicy(s Scheme, name string, factory func() SchemePolicy) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := policyRegistry[s]; dup {
+		panic(fmt.Sprintf("pcn: scheme %d registered twice", int(s)))
+	}
+	for _, r := range policyRegistry {
+		if r.name == name {
+			panic(fmt.Sprintf("pcn: scheme name %q registered twice", name))
+		}
+	}
+	policyRegistry[s] = registration{name: name, factory: factory}
+}
+
+// lookupScheme returns the registration for a scheme.
+func lookupScheme(s Scheme) (registration, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	r, ok := policyRegistry[s]
+	return r, ok
+}
+
+// policyFor instantiates the registered policy for a scheme.
+func policyFor(s Scheme) (SchemePolicy, error) {
+	r, ok := lookupScheme(s)
+	if !ok {
+		return nil, fmt.Errorf("pcn: invalid scheme %d", int(s))
+	}
+	return r.factory(), nil
+}
+
+// registeredSchemes lists all known scheme identifiers in ascending order.
+func registeredSchemes() []Scheme {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Scheme, 0, len(policyRegistry))
+	for s := range policyRegistry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func init() {
+	RegisterPolicy(SchemeSplicer, "Splicer", func() SchemePolicy {
+		return &splicerPolicy{basePolicy{SchemeSplicer}}
+	})
+	RegisterPolicy(SchemeSpider, "Spider", func() SchemePolicy {
+		return &spiderPolicy{basePolicy{SchemeSpider}}
+	})
+	RegisterPolicy(SchemeFlash, "Flash", func() SchemePolicy {
+		return &flashPolicy{basePolicy: basePolicy{SchemeFlash}}
+	})
+	RegisterPolicy(SchemeLandmark, "Landmark", func() SchemePolicy {
+		return &landmarkPolicy{basePolicy: basePolicy{SchemeLandmark}}
+	})
+	RegisterPolicy(SchemeA2L, "A2L", func() SchemePolicy {
+		return &a2lPolicy{basePolicy{SchemeA2L}}
+	})
+	RegisterPolicy(SchemeShortestPath, "ShortestPath", func() SchemePolicy {
+		return &shortestPathPolicy{basePolicy{SchemeShortestPath}}
+	})
+}

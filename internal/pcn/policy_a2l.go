@@ -1,0 +1,70 @@
+package pcn
+
+import (
+	"math"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// a2lPolicy is the single-tumbler payment-channel-hub protocol: every
+// payment routes atomically through one hub, whose cryptographic
+// puzzle-promise exchange is serialized and epoch-aligned.
+type a2lPolicy struct{ basePolicy }
+
+// Setup elects the best-connected node as the tumbler, manages every client
+// under it, reshapes to the star topology and capitalizes the hub.
+func (a2lPolicy) Setup(n *Network) error {
+	hub := topology.TopDegreeNodes(n.g, 1)[0]
+	n.SetHubs([]graph.NodeID{hub})
+	for i := 0; i < n.g.NumNodes(); i++ {
+		n.SetManagingHub(graph.NodeID(i), hub)
+	}
+	n.ReshapeMultiStar()
+	n.CapitalizeHubs()
+	return nil
+}
+
+// ComputeOwner: the tumbler performs the per-payment cryptographic protocol.
+func (a2lPolicy) ComputeOwner(n *Network, tx workload.Tx) (graph.NodeID, float64) {
+	return n.hubs[0], n.cfg.A2LCryptoDelay
+}
+
+// AlignDispatch: the tumbler's puzzle-promise protocol runs in epochs
+// aligned to the update interval: payments wait for the next epoch boundary
+// before the crypto exchange starts. This is why A2L's TSR is the most
+// sensitive to the update time in Figs. 7(c)/8(c).
+func (a2lPolicy) AlignDispatch(n *Network, free float64) float64 {
+	tau := n.cfg.UpdateTau
+	epoch := math.Ceil(free/tau) * tau
+	if epoch > free {
+		return epoch
+	}
+	return free
+}
+
+// Plan routes the whole payment through the single tumbler hub in one atomic
+// piece, as the PCH protocol requires.
+func (a2lPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
+	hub := n.hubs[0]
+	paths, ok := n.CachedPaths(tx.Sender, tx.Recipient)
+	if !ok {
+		if hub == tx.Sender || hub == tx.Recipient {
+			if p, found := n.g.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); found {
+				paths = []graph.Path{p}
+			}
+		} else {
+			p1, ok1 := n.g.ShortestPath(tx.Sender, hub, graph.UnitWeight)
+			p2, ok2 := n.g.ShortestPath(hub, tx.Recipient, graph.UnitWeight)
+			if ok1 && ok2 {
+				paths = []graph.Path{concatPaths(p1, p2)}
+			}
+		}
+		n.CachePaths(tx.Sender, tx.Recipient, paths)
+	}
+	if len(paths) == 0 {
+		return nil, nil, nil
+	}
+	return paths, []Allocation{{PathIdx: 0, Value: tx.Value}}, nil
+}

@@ -1,0 +1,63 @@
+package pcn
+
+import (
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// flashPolicy implements Flash's elephant/mice split: large payments run a
+// modified max-flow on current spendable balances and send along the flow
+// decomposition; small payments pick one of a few precomputed shortest paths
+// at random. The policy owns the τ-stale balance snapshot its max-flow runs
+// against (source routers only learn balances from the periodic gossip) and
+// the precomputed mice-path cache.
+type flashPolicy struct {
+	basePolicy
+	mice map[pairKey][]graph.Path
+	view *graph.Graph
+}
+
+// WantsTick: Flash refreshes its stale balance snapshot each gossip round.
+func (flashPolicy) WantsTick() bool { return true }
+
+func (p *flashPolicy) OnTick(n *Network) {
+	// Source routers see balances only as fresh as the last gossip round;
+	// refresh the snapshot Flash plans against.
+	p.view = n.BalanceView()
+}
+
+func (p *flashPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
+	if tx.Value > n.cfg.FlashElephantThreshold {
+		// Plan on the τ-stale gossip snapshot when available: the live view
+		// is used solely before the first refresh tick.
+		view := p.view
+		if view == nil {
+			view = n.BalanceView()
+		}
+		total, flows := view.MaxFlow(tx.Sender, tx.Recipient, tx.Value)
+		if total < tx.Value-1e-9 {
+			return nil, nil, nil // insufficient flow: payment infeasible now
+		}
+		paths := make([]graph.Path, len(flows))
+		allocs := make([]Allocation, len(flows))
+		for i, fp := range flows {
+			paths[i] = fp.Path
+			allocs[i] = Allocation{PathIdx: i, Value: fp.Amount}
+		}
+		return paths, allocs, nil
+	}
+	if p.mice == nil {
+		p.mice = map[pairKey][]graph.Path{}
+	}
+	pair := pairKey{tx.Sender, tx.Recipient}
+	paths, ok := p.mice[pair]
+	if !ok {
+		paths = n.g.KShortestPaths(tx.Sender, tx.Recipient, n.cfg.FlashMicePaths, graph.UnitWeight)
+		p.mice[pair] = paths
+	}
+	if len(paths) == 0 {
+		return nil, nil, nil
+	}
+	idx := int(n.nextTUID) % len(paths)
+	return paths, []Allocation{{PathIdx: idx, Value: tx.Value}}, nil
+}

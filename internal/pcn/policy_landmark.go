@@ -1,0 +1,46 @@
+package pcn
+
+import (
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// landmarkPolicy routes through well-known landmark nodes: path_i =
+// s→lm_i→r, splitting the value evenly across the landmarks reachable from
+// both ends. The policy owns its elected landmark set.
+type landmarkPolicy struct {
+	basePolicy
+	landmarks []graph.NodeID
+}
+
+func (p *landmarkPolicy) Setup(n *Network) error {
+	p.landmarks = topology.TopDegreeNodes(n.g, n.cfg.NumPaths)
+	return nil
+}
+
+func (p *landmarkPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
+	var paths []graph.Path
+	for _, lm := range p.landmarks {
+		if lm == tx.Sender || lm == tx.Recipient {
+			if pa, ok := n.g.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); ok {
+				paths = append(paths, pa)
+			}
+			continue
+		}
+		p1, ok1 := n.g.ShortestPath(tx.Sender, lm, graph.UnitWeight)
+		p2, ok2 := n.g.ShortestPath(lm, tx.Recipient, graph.UnitWeight)
+		if ok1 && ok2 {
+			paths = append(paths, concatPaths(p1, p2))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, nil, nil
+	}
+	share := tx.Value / float64(len(paths))
+	allocs := make([]Allocation, len(paths))
+	for i := range paths {
+		allocs[i] = Allocation{PathIdx: i, Value: share}
+	}
+	return paths, allocs, nil
+}

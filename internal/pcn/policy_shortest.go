@@ -1,0 +1,18 @@
+package pcn
+
+import (
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// shortestPathPolicy is the naive single-shortest-path HTLC baseline (not in
+// the paper's figures; used by tests and the deadlock example).
+type shortestPathPolicy struct{ basePolicy }
+
+func (shortestPathPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
+	p, ok := n.g.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight)
+	if !ok {
+		return nil, nil, nil
+	}
+	return []graph.Path{p}, []Allocation{{PathIdx: 0, Value: tx.Value}}, nil
+}

@@ -1,0 +1,36 @@
+package pcn
+
+import (
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/routing"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// spiderPolicy is multi-path source routing with packetization: k paths
+// directly between sender and recipient, TU splitting, window congestion
+// control — but no capacity/imbalance price coordination (that is Splicer's
+// addition) and the route computation runs on the sender's machine.
+type spiderPolicy struct{ basePolicy }
+
+func (spiderPolicy) UsesQueues() bool { return true }
+func (spiderPolicy) SplitsTUs() bool  { return true }
+
+func (spiderPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
+	paths, ok := n.CachedPaths(tx.Sender, tx.Recipient)
+	if !ok {
+		var err error
+		paths, err = routing.SelectPaths(n.g, tx.Sender, tx.Recipient, n.cfg.NumPaths, routing.EDW)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.CachePaths(tx.Sender, tx.Recipient, paths)
+	}
+	if len(paths) == 0 {
+		return nil, nil, nil
+	}
+	allocs, err := splitAllocations(tx.Value, n.cfg.MinTU, n.cfg.MaxTU)
+	if err != nil {
+		return nil, nil, err
+	}
+	return paths, allocs, nil
+}

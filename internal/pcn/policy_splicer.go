@@ -1,0 +1,87 @@
+package pcn
+
+import (
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/routing"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// splicerPolicy is the paper's scheme: optimal PCH placement, the multi-star
+// topology, hub-computed multi-path routing, TU packetization, and the
+// price/window congestion controller.
+type splicerPolicy struct{ basePolicy }
+
+func (splicerPolicy) UsesQueues() bool { return true }
+func (splicerPolicy) UsesPrices() bool { return true }
+func (splicerPolicy) SplitsTUs() bool  { return true }
+
+// Setup runs the placement pipeline (or accepts cfg.Hubs), assigns every
+// client its Lemma-1 hub, reshapes to the Definition-1 multi-star topology
+// and capitalizes the hubs.
+func (splicerPolicy) Setup(n *Network) error {
+	hubs := n.cfg.Hubs
+	if len(hubs) == 0 {
+		var err error
+		hubs, err = n.placeHubs()
+		if err != nil {
+			return err
+		}
+	}
+	n.SetHubs(hubs)
+	n.assignClients()
+	n.ReshapeMultiStar()
+	n.CapitalizeHubs()
+	return nil
+}
+
+// ComputeOwner: the managing hub's (powerful) machine computes routes.
+func (splicerPolicy) ComputeOwner(n *Network, tx workload.Tx) (graph.NodeID, float64) {
+	hub := n.hubOf[tx.Sender]
+	if n.isHub[tx.Sender] {
+		hub = tx.Sender
+	}
+	return hub, n.cfg.HubComputeDelay
+}
+
+// Plan routes via the sender's and recipient's managing hubs: access segment
+// s→hub(s), k hub-to-hub paths of the configured path type, access segment
+// hub(r)→r. Demands split into Min/Max-TU bounded units whose paths the rate
+// controller assigns dynamically.
+func (splicerPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
+	paths, ok := n.CachedPaths(tx.Sender, tx.Recipient)
+	if !ok {
+		hubS := n.managingHub(tx.Sender)
+		hubR := n.managingHub(tx.Recipient)
+		if hubS == hubR {
+			// Both endpoints are managed by the same hub: the hub computes
+			// k multi-paths directly between its clients.
+			var err error
+			paths, err = routing.SelectPaths(n.g, tx.Sender, tx.Recipient, n.cfg.NumPaths, n.cfg.PathType)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			prefix, okP := n.accessPath(tx.Sender, hubS)
+			suffix, okS := n.accessPath(hubR, tx.Recipient)
+			if !okP || !okS {
+				return nil, nil, nil
+			}
+			middles, err := routing.SelectPaths(n.g, hubS, hubR, n.cfg.NumPaths, n.cfg.PathType)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, mid := range middles {
+				paths = append(paths, concatPaths(prefix, mid, suffix))
+			}
+		}
+		n.CachePaths(tx.Sender, tx.Recipient, paths)
+	}
+	if len(paths) == 0 {
+		return nil, nil, nil
+	}
+	allocs, err := splitAllocations(tx.Value, n.cfg.MinTU, n.cfg.MaxTU)
+	if err != nil {
+		return nil, nil, err
+	}
+	return paths, allocs, nil
+}

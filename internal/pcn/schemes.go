@@ -1,85 +1,26 @@
+// Scheme-agnostic routing helpers shared by the SchemePolicy
+// implementations (policy_*.go). Scheme-specific planning itself lives in
+// the policies; nothing here branches on the scheme.
+
 package pcn
 
 import (
 	"github.com/splicer-pcn/splicer/internal/graph"
 	"github.com/splicer-pcn/splicer/internal/routing"
-	"github.com/splicer-pcn/splicer/internal/workload"
 )
 
-// planPayment computes the path set and the per-TU allocations for a
-// payment under the configured scheme. An allocation with pathIdx == -1 is
-// assigned to a path at send time by the rate controller.
-func (n *Network) planPayment(tx workload.Tx) ([]graph.Path, []allocation, error) {
-	switch n.cfg.Scheme {
-	case SchemeSplicer:
-		return n.planSplicer(tx)
-	case SchemeSpider:
-		return n.planSpider(tx)
-	case SchemeFlash:
-		return n.planFlash(tx)
-	case SchemeLandmark:
-		return n.planLandmark(tx)
-	case SchemeA2L:
-		return n.planA2L(tx)
-	case SchemeShortestPath:
-		return n.planShortestPath(tx)
-	default:
-		return nil, nil, errUnknownScheme
-	}
-}
-
-var errUnknownScheme = errString("pcn: unknown scheme")
-
-type errString string
-
-func (e errString) Error() string { return string(e) }
-
-// planSplicer routes via the sender's and recipient's managing hubs: access
-// segment s→hub(s), k hub-to-hub paths of the configured path type, access
-// segment hub(r)→r. Demands split into Min/Max-TU bounded units whose paths
-// the rate controller assigns dynamically.
-func (n *Network) planSplicer(tx workload.Tx) ([]graph.Path, []allocation, error) {
-	pair := pairKey{tx.Sender, tx.Recipient}
-	paths, ok := n.pathsFor[pair]
-	if !ok {
-		hubS := n.managingHub(tx.Sender)
-		hubR := n.managingHub(tx.Recipient)
-		if hubS == hubR {
-			// Both endpoints are managed by the same hub: the hub computes
-			// k multi-paths directly between its clients.
-			var err error
-			paths, err = routing.SelectPaths(n.g, tx.Sender, tx.Recipient, n.cfg.NumPaths, n.cfg.PathType)
-			if err != nil {
-				return nil, nil, err
-			}
-		} else {
-			prefix, okP := n.accessPath(tx.Sender, hubS)
-			suffix, okS := n.accessPath(hubR, tx.Recipient)
-			if !okP || !okS {
-				return nil, nil, nil
-			}
-			middles, err := routing.SelectPaths(n.g, hubS, hubR, n.cfg.NumPaths, n.cfg.PathType)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, mid := range middles {
-				paths = append(paths, concatPaths(prefix, mid, suffix))
-			}
-		}
-		n.pathsFor[pair] = paths
-	}
-	if len(paths) == 0 {
-		return nil, nil, nil
-	}
-	tus, err := routing.SplitDemand(tx.Value, n.cfg.MinTU, n.cfg.MaxTU)
+// splitAllocations splits a demand into Min/Max-TU bounded units left for
+// the rate controller to place (PathIdx == -1).
+func splitAllocations(value, minTU, maxTU float64) ([]Allocation, error) {
+	tus, err := routing.SplitDemand(value, minTU, maxTU)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	allocs := make([]allocation, len(tus))
+	allocs := make([]Allocation, len(tus))
 	for i, v := range tus {
-		allocs[i] = allocation{pathIdx: -1, value: v}
+		allocs[i] = Allocation{PathIdx: -1, Value: v}
 	}
-	return paths, allocs, nil
+	return allocs, nil
 }
 
 // managingHub returns the hub handling a node's payments (the node itself
@@ -122,76 +63,23 @@ func concatPaths(parts ...graph.Path) graph.Path {
 	return out
 }
 
-// planSpider is multi-path source routing with packetization: k paths
-// directly between sender and recipient, TU splitting, window congestion
-// control — but no capacity/imbalance price coordination (that is Splicer's
-// addition) and the route computation runs on the sender's machine.
-func (n *Network) planSpider(tx workload.Tx) ([]graph.Path, []allocation, error) {
-	pair := pairKey{tx.Sender, tx.Recipient}
-	paths, ok := n.pathsFor[pair]
-	if !ok {
-		var err error
-		paths, err = routing.SelectPaths(n.g, tx.Sender, tx.Recipient, n.cfg.NumPaths, routing.EDW)
-		if err != nil {
-			return nil, nil, err
-		}
-		n.pathsFor[pair] = paths
-	}
-	if len(paths) == 0 {
-		return nil, nil, nil
-	}
-	tus, err := routing.SplitDemand(tx.Value, n.cfg.MinTU, n.cfg.MaxTU)
-	if err != nil {
-		return nil, nil, err
-	}
-	allocs := make([]allocation, len(tus))
-	for i, v := range tus {
-		allocs[i] = allocation{pathIdx: -1, value: v}
-	}
-	return paths, allocs, nil
+// CachedPaths returns the cached path set for a sender/recipient pair.
+// Policies use the cache so repeat payments between a pair skip the path
+// computation (and so the τ-probe loop can refresh their prices).
+func (n *Network) CachedPaths(s, e graph.NodeID) ([]graph.Path, bool) {
+	paths, ok := n.pathsFor[pairKey{s, e}]
+	return paths, ok
 }
 
-// planFlash implements Flash's elephant/mice split: large payments run a
-// modified max-flow on current spendable balances and send along the flow
-// decomposition; small payments pick one of a few precomputed shortest
-// paths at random.
-func (n *Network) planFlash(tx workload.Tx) ([]graph.Path, []allocation, error) {
-	if tx.Value > n.cfg.FlashElephantThreshold {
-		// Plan on the τ-stale gossip snapshot when available: source
-		// routers only learn balances from the periodic gossip. The live
-		// view is used solely before the first refresh tick.
-		view := n.flashView
-		if view == nil {
-			view = n.balanceView()
-		}
-		total, flows := view.MaxFlow(tx.Sender, tx.Recipient, tx.Value)
-		if total < tx.Value-1e-9 {
-			return nil, nil, nil // insufficient flow: payment infeasible now
-		}
-		paths := make([]graph.Path, len(flows))
-		allocs := make([]allocation, len(flows))
-		for i, fp := range flows {
-			paths[i] = fp.Path
-			allocs[i] = allocation{pathIdx: i, value: fp.Amount}
-		}
-		return paths, allocs, nil
-	}
-	pair := pairKey{tx.Sender, tx.Recipient}
-	paths, ok := n.flashMice[pair]
-	if !ok {
-		paths = n.g.KShortestPaths(tx.Sender, tx.Recipient, n.cfg.FlashMicePaths, graph.UnitWeight)
-		n.flashMice[pair] = paths
-	}
-	if len(paths) == 0 {
-		return nil, nil, nil
-	}
-	idx := int(n.nextTUID) % len(paths)
-	return paths, []allocation{{pathIdx: idx, value: tx.Value}}, nil
+// CachePaths stores a pair's path set. Caching an empty set records the pair
+// as unroutable.
+func (n *Network) CachePaths(s, e graph.NodeID, paths []graph.Path) {
+	n.pathsFor[pairKey{s, e}] = paths
 }
 
-// balanceView snapshots the channels' current spendable balances into a
+// BalanceView snapshots the channels' current spendable balances into a
 // graph for max-flow computation.
-func (n *Network) balanceView() *graph.Graph {
+func (n *Network) BalanceView() *graph.Graph {
 	view := graph.New(n.g.NumNodes())
 	for _, ch := range n.chans {
 		if _, err := view.AddEdge(ch.U, ch.V, ch.Balance(0), ch.Balance(1)); err != nil {
@@ -199,67 +87,4 @@ func (n *Network) balanceView() *graph.Graph {
 		}
 	}
 	return view
-}
-
-// planLandmark routes through each landmark: path_i = s→lm_i→r, splitting
-// the value evenly across the landmarks reachable from both ends.
-func (n *Network) planLandmark(tx workload.Tx) ([]graph.Path, []allocation, error) {
-	var paths []graph.Path
-	for _, lm := range n.landmarks {
-		if lm == tx.Sender || lm == tx.Recipient {
-			if p, ok := n.g.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); ok {
-				paths = append(paths, p)
-			}
-			continue
-		}
-		p1, ok1 := n.g.ShortestPath(tx.Sender, lm, graph.UnitWeight)
-		p2, ok2 := n.g.ShortestPath(lm, tx.Recipient, graph.UnitWeight)
-		if ok1 && ok2 {
-			paths = append(paths, concatPaths(p1, p2))
-		}
-	}
-	if len(paths) == 0 {
-		return nil, nil, nil
-	}
-	share := tx.Value / float64(len(paths))
-	allocs := make([]allocation, len(paths))
-	for i := range paths {
-		allocs[i] = allocation{pathIdx: i, value: share}
-	}
-	return paths, allocs, nil
-}
-
-// planA2L routes the whole payment through the single tumbler hub in one
-// atomic piece, as the PCH protocol requires.
-func (n *Network) planA2L(tx workload.Tx) ([]graph.Path, []allocation, error) {
-	hub := n.hubs[0]
-	pair := pairKey{tx.Sender, tx.Recipient}
-	paths, ok := n.pathsFor[pair]
-	if !ok {
-		if hub == tx.Sender || hub == tx.Recipient {
-			if p, found := n.g.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); found {
-				paths = []graph.Path{p}
-			}
-		} else {
-			p1, ok1 := n.g.ShortestPath(tx.Sender, hub, graph.UnitWeight)
-			p2, ok2 := n.g.ShortestPath(hub, tx.Recipient, graph.UnitWeight)
-			if ok1 && ok2 {
-				paths = []graph.Path{concatPaths(p1, p2)}
-			}
-		}
-		n.pathsFor[pair] = paths
-	}
-	if len(paths) == 0 {
-		return nil, nil, nil
-	}
-	return paths, []allocation{{pathIdx: 0, value: tx.Value}}, nil
-}
-
-// planShortestPath is the naive single-path HTLC baseline.
-func (n *Network) planShortestPath(tx workload.Tx) ([]graph.Path, []allocation, error) {
-	p, ok := n.g.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight)
-	if !ok {
-		return nil, nil, nil
-	}
-	return []graph.Path{p}, []allocation{{pathIdx: 0, value: tx.Value}}, nil
 }

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"math"
+
+	"github.com/splicer-pcn/splicer/internal/pcn"
+)
+
+// Stats summarizes one metric across the seeds of a group. NaN samples
+// (e.g. MeanQueueDelay under a scheme without queues, MeanDelay with zero
+// completions) are excluded; N counts the samples folded in.
+type Stats struct {
+	N    int
+	Mean float64
+	// Std is the sample (n−1) standard deviation; 0 when N < 2.
+	Std float64
+	// CI95 is the half-width of the normal-approximation 95% confidence
+	// interval, 1.96·Std/√N; 0 when N < 2.
+	CI95 float64
+}
+
+// newStats folds samples in slice order so the result is bit-stable for a
+// fixed input order.
+func newStats(samples []float64) Stats {
+	var s Stats
+	sum := 0.0
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			continue
+		}
+		s.N++
+		sum += v
+	}
+	if s.N == 0 {
+		s.Mean = math.NaN()
+		return s
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	ss := 0.0
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			continue
+		}
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	return s
+}
+
+// Summary aggregates one (Scheme, Axis, X, Label) group across its seeds.
+type Summary struct {
+	Scheme pcn.Scheme
+	Axis   string
+	X      float64
+	Label  string
+	// Seeds is the number of successful cells aggregated; Failed counts
+	// cells whose run errored (excluded from the stats).
+	Seeds  int
+	Failed int
+
+	TSR            Stats
+	Throughput     Stats // normalized throughput
+	MeanDelay      Stats
+	MeanQueueDelay Stats
+	TotalFees      Stats
+	MeanImbalance  Stats
+}
+
+type groupKey struct {
+	scheme pcn.Scheme
+	axis   string
+	x      float64
+	label  string
+}
+
+// Aggregate groups cell results by (Scheme, Axis, X, Label) and summarizes
+// each metric across the group's seeds. Groups appear in first-appearance
+// order and samples fold in result order, so for a fixed cell list the
+// output is identical regardless of how many workers produced the results.
+func Aggregate(results []CellResult) []Summary {
+	type group struct {
+		key     groupKey
+		failed  int
+		samples map[string][]float64
+	}
+	order := []groupKey{}
+	groups := map[groupKey]*group{}
+	for _, r := range results {
+		k := groupKey{r.Cell.Scheme, r.Cell.Axis, r.Cell.X, r.Cell.Label}
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: k, samples: map[string][]float64{}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		if r.Err != nil {
+			g.failed++
+			continue
+		}
+		g.samples["tsr"] = append(g.samples["tsr"], r.Result.TSR)
+		g.samples["tput"] = append(g.samples["tput"], r.Result.NormalizedThroughput)
+		g.samples["delay"] = append(g.samples["delay"], r.Result.MeanDelay)
+		g.samples["qdelay"] = append(g.samples["qdelay"], r.Result.MeanQueueDelay)
+		g.samples["fees"] = append(g.samples["fees"], r.Result.TotalFees)
+		g.samples["imb"] = append(g.samples["imb"], r.Result.MeanImbalance)
+	}
+	out := make([]Summary, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		out = append(out, Summary{
+			Scheme:         k.scheme,
+			Axis:           k.axis,
+			X:              k.x,
+			Label:          k.label,
+			Seeds:          len(g.samples["tsr"]),
+			Failed:         g.failed,
+			TSR:            newStats(g.samples["tsr"]),
+			Throughput:     newStats(g.samples["tput"]),
+			MeanDelay:      newStats(g.samples["delay"]),
+			MeanQueueDelay: newStats(g.samples["qdelay"]),
+			TotalFees:      newStats(g.samples["fees"]),
+			MeanImbalance:  newStats(g.samples["imb"]),
+		})
+	}
+	return out
+}

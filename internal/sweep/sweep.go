@@ -1,0 +1,117 @@
+// Package sweep runs simulation grids — scheme × seed × parameter cells —
+// on a bounded worker pool and aggregates the per-cell results into
+// mean/stddev/95%-CI summaries.
+//
+// Each cell materializes its own Graph, trace and Network via its Build
+// hook, so workers share no mutable state and a sweep is embarrassingly
+// parallel. Run returns results in cell order regardless of scheduling, and
+// Aggregate folds them in that fixed order, so a sweep's output is
+// byte-identical for any worker count.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// Cell is one simulation of a sweep grid. Scheme, Seed and the axis fields
+// label the cell for grouping; Build materializes the cell's private inputs.
+type Cell struct {
+	Scheme pcn.Scheme
+	Seed   uint64
+	// Axis names the swept parameter (e.g. "channel_scale") and X is its
+	// value for this cell. Label carries non-numeric choices (e.g. a
+	// scheduler name); cells with equal (Scheme, Axis, X, Label) aggregate
+	// into one summary across seeds.
+	Axis  string
+	X     float64
+	Label string
+	// Build returns a fresh graph, trace and config. It must not share
+	// mutable state with other cells: the returned graph is owned (and
+	// mutated) by the cell's Network.
+	Build func() (*graph.Graph, []workload.Tx, pcn.Config, error)
+}
+
+// CellResult pairs a cell with its simulation outcome.
+type CellResult struct {
+	Cell   Cell
+	Result pcn.Result
+	Err    error
+}
+
+// RunCell executes a single cell synchronously.
+func RunCell(c Cell) CellResult {
+	out := CellResult{Cell: c}
+	if c.Build == nil {
+		out.Err = fmt.Errorf("sweep: cell has no Build hook")
+		return out
+	}
+	g, trace, cfg, err := c.Build()
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	n, err := pcn.NewNetwork(g, cfg)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Result, out.Err = n.Run(trace)
+	return out
+}
+
+// Run executes the cells on a bounded worker pool. workers <= 0 uses
+// GOMAXPROCS; workers == 1 runs sequentially in the calling goroutine. The
+// result slice is indexed like cells, independent of scheduling order.
+func Run(cells []Cell, workers int) []CellResult {
+	results := make([]CellResult, len(cells))
+	if len(cells) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers == 1 {
+		for i, c := range cells {
+			results[i] = RunCell(c)
+		}
+		return results
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = RunCell(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+// FirstErr returns the first cell error in cell order, annotated with the
+// failing cell's labels, or nil.
+func FirstErr(results []CellResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("sweep: %v seed=%d %s=%g %s: %w",
+				r.Cell.Scheme, r.Cell.Seed, r.Cell.Axis, r.Cell.X, r.Cell.Label, r.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// testCell builds a small self-contained simulation cell.
+func testCell(scheme pcn.Scheme, seed uint64, x float64) Cell {
+	return Cell{
+		Scheme: scheme,
+		Seed:   seed,
+		Axis:   "value_scale",
+		X:      x,
+		Build: func() (*graph.Graph, []workload.Tx, pcn.Config, error) {
+			src := rng.New(seed)
+			g, err := topology.WattsStrogatz(src.Split(1), 30, 4, 0.2, func() (float64, float64) { return 200, 200 })
+			if err != nil {
+				return nil, nil, pcn.Config{}, err
+			}
+			clients := make([]graph.NodeID, g.NumNodes())
+			for i := range clients {
+				clients[i] = graph.NodeID(i)
+			}
+			trace, err := workload.Generate(src.Split(2), workload.Config{
+				Clients: clients, Rate: 30, Duration: 1.5, Timeout: 3,
+				ZipfSkew: 0.8, ValueScale: x, CirculationFraction: 0.2,
+			})
+			if err != nil {
+				return nil, nil, pcn.Config{}, err
+			}
+			cfg := pcn.NewConfig(scheme)
+			cfg.NumHubCandidates = 6
+			return g, trace, cfg, nil
+		},
+	}
+}
+
+func testGrid() []Cell {
+	var cells []Cell
+	for _, x := range []float64{1, 2} {
+		for _, scheme := range []pcn.Scheme{pcn.SchemeSplicer, pcn.SchemeShortestPath} {
+			for _, seed := range []uint64{3, 4, 5} {
+				cells = append(cells, testCell(scheme, seed, x))
+			}
+		}
+	}
+	return cells
+}
+
+// renderResults canonicalizes per-cell outcomes for byte-level comparison
+// (the Cell's Build closure is a pointer and must not participate).
+func renderResults(results []CellResult) string {
+	out := ""
+	for _, r := range results {
+		out += fmt.Sprintf("%v/%d/%s/%g/%s %+v err=%v\n",
+			r.Cell.Scheme, r.Cell.Seed, r.Cell.Axis, r.Cell.X, r.Cell.Label, r.Result, r.Err)
+	}
+	return out
+}
+
+// render canonicalizes summaries for byte-level comparison.
+func render(v interface{}) string { return fmt.Sprintf("%+v", v) }
+
+// TestDeterministicAcrossWorkerCounts: the same grid must produce
+// byte-identical per-cell results and aggregate stats for any worker count.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	ref := Run(testGrid(), 1)
+	if err := FirstErr(ref); err != nil {
+		t.Fatal(err)
+	}
+	refResults, refSummaries := renderResults(ref), render(Aggregate(ref))
+	for _, workers := range []int{2, 4, 0} {
+		got := Run(testGrid(), workers)
+		if r := renderResults(got); r != refResults {
+			t.Fatalf("workers=%d: per-cell results diverged from workers=1", workers)
+		}
+		if s := render(Aggregate(got)); s != refSummaries {
+			t.Fatalf("workers=%d: aggregate summaries diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestAggregateGroups: 3 seeds per (scheme, x) group → 4 groups of N=3, in
+// first-appearance order.
+func TestAggregateGroups(t *testing.T) {
+	results := Run(testGrid(), 0)
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	sums := Aggregate(results)
+	if len(sums) != 4 {
+		t.Fatalf("got %d groups, want 4", len(sums))
+	}
+	want := []struct {
+		scheme pcn.Scheme
+		x      float64
+	}{
+		{pcn.SchemeSplicer, 1}, {pcn.SchemeShortestPath, 1},
+		{pcn.SchemeSplicer, 2}, {pcn.SchemeShortestPath, 2},
+	}
+	for i, s := range sums {
+		if s.Scheme != want[i].scheme || s.X != want[i].x {
+			t.Fatalf("group %d = (%v, %g), want (%v, %g)", i, s.Scheme, s.X, want[i].scheme, want[i].x)
+		}
+		if s.Seeds != 3 || s.Failed != 0 {
+			t.Fatalf("group %d: Seeds=%d Failed=%d, want 3/0", i, s.Seeds, s.Failed)
+		}
+		if s.TSR.N != 3 || s.TSR.Mean < 0 || s.TSR.Mean > 1 {
+			t.Fatalf("group %d: bad TSR stats %+v", i, s.TSR)
+		}
+		if s.TSR.Std > 0 && s.TSR.CI95 <= 0 {
+			t.Fatalf("group %d: Std=%g but CI95=%g", i, s.TSR.Std, s.TSR.CI95)
+		}
+	}
+}
+
+// TestStatsMath checks mean/stddev/CI against hand-computed values and the
+// NaN-exclusion rule.
+func TestStatsMath(t *testing.T) {
+	s := newStats([]float64{1, 2, 3, math.NaN()})
+	if s.N != 3 || math.Abs(s.Mean-2) > 1e-12 {
+		t.Fatalf("stats = %+v, want N=3 Mean=2", s)
+	}
+	if math.Abs(s.Std-1) > 1e-12 {
+		t.Fatalf("Std = %g, want 1", s.Std)
+	}
+	if wantCI := 1.96 / math.Sqrt(3); math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Fatalf("CI95 = %g, want %g", s.CI95, wantCI)
+	}
+	if one := newStats([]float64{5}); one.N != 1 || one.Mean != 5 || one.Std != 0 || one.CI95 != 0 {
+		t.Fatalf("single-sample stats = %+v", one)
+	}
+	if empty := newStats([]float64{math.NaN()}); empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Fatalf("all-NaN stats = %+v", empty)
+	}
+}
+
+// TestErrorPropagation: a failing cell surfaces through FirstErr and is
+// counted (not folded) by Aggregate.
+func TestErrorPropagation(t *testing.T) {
+	bad := Cell{Scheme: pcn.SchemeSplicer, Seed: 9, Axis: "value_scale", X: 1,
+		Build: func() (*graph.Graph, []workload.Tx, pcn.Config, error) {
+			return nil, nil, pcn.Config{}, fmt.Errorf("boom")
+		}}
+	cells := []Cell{testCell(pcn.SchemeSplicer, 3, 1), bad}
+	results := Run(cells, 2)
+	if err := FirstErr(results); err == nil {
+		t.Fatal("FirstErr missed the failing cell")
+	}
+	sums := Aggregate(results)
+	if len(sums) != 1 {
+		t.Fatalf("got %d groups, want 1 (same key)", len(sums))
+	}
+	if sums[0].Seeds != 1 || sums[0].Failed != 1 {
+		t.Fatalf("Seeds=%d Failed=%d, want 1/1", sums[0].Seeds, sums[0].Failed)
+	}
+	if RunCell(Cell{}).Err == nil {
+		t.Fatal("RunCell accepted a cell without Build")
+	}
+}

@@ -1,0 +1,128 @@
+package splicer
+
+import (
+	"fmt"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/sweep"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// SweepAxis is an optional swept parameter dimension. For each value, Apply
+// may mutate the cell's network/workload specs and/or return extra
+// simulation options. A nil Apply sweeps nothing but still labels the cells.
+type SweepAxis struct {
+	Name   string
+	Values []float64
+	Apply  func(v float64, net *NetworkSpec, wl *WorkloadSpec) []Option
+}
+
+// SweepSpec describes a multi-seed × multi-scheme × multi-parameter grid.
+// Every cell of the grid builds its own topology and trace from its seed, so
+// the grid runs embarrassingly parallel on Workers goroutines while
+// producing results identical to a sequential run.
+type SweepSpec struct {
+	// Network and Workload are the base specs; each cell overrides their
+	// Seed with its own.
+	Network  NetworkSpec
+	Workload WorkloadSpec
+	// Schemes to compare (required).
+	Schemes []Scheme
+	// Seeds replicates every (scheme, axis value) cell; aggregate stats are
+	// computed across them. Defaults to the single Network.Seed.
+	Seeds []uint64
+	// Options apply to every cell's simulation config.
+	Options []Option
+	// Axis optionally sweeps one parameter dimension.
+	Axis *SweepAxis
+	// Workers bounds the worker pool (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+}
+
+// SweepStats is the per-metric mean/stddev/95%-CI summary across seeds.
+type SweepStats = sweep.Stats
+
+// SweepSummary aggregates one (scheme, axis value) group across seeds.
+type SweepSummary = sweep.Summary
+
+// SweepCellResult is one grid cell's outcome.
+type SweepCellResult = sweep.CellResult
+
+// SweepResult is the outcome of RunSweep: the raw per-cell results in grid
+// order (axis-major, then scheme, then seed) and the per-(scheme, axis
+// value) aggregates.
+type SweepResult struct {
+	Cells     []SweepCellResult
+	Summaries []SweepSummary
+}
+
+// RunSweep executes the grid. Each worker owns its cells' graphs and
+// networks exclusively, so any Workers value yields identical results for
+// fixed seeds; errors in any cell abort the sweep with the first error in
+// grid order.
+func RunSweep(spec SweepSpec) (SweepResult, error) {
+	if len(spec.Schemes) == 0 {
+		return SweepResult{}, fmt.Errorf("splicer: sweep needs at least one scheme")
+	}
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{spec.Network.Seed}
+	}
+	axisValues := []float64{0}
+	axisName := ""
+	if spec.Axis != nil {
+		if len(spec.Axis.Values) == 0 {
+			return SweepResult{}, fmt.Errorf("splicer: sweep axis %q has no values", spec.Axis.Name)
+		}
+		axisValues = spec.Axis.Values
+		axisName = spec.Axis.Name
+	}
+	var cells []sweep.Cell
+	for _, x := range axisValues {
+		for _, scheme := range spec.Schemes {
+			for _, seed := range seeds {
+				net, wl := spec.Network, spec.Workload
+				net.Seed, wl.Seed = seed, seed
+				opts := append([]Option(nil), spec.Options...)
+				if spec.Axis != nil && spec.Axis.Apply != nil {
+					opts = append(opts, spec.Axis.Apply(x, &net, &wl)...)
+				}
+				cells = append(cells, sweep.Cell{
+					Scheme: scheme,
+					Seed:   seed,
+					Axis:   axisName,
+					X:      x,
+					Build:  buildCell(net, wl, scheme, opts),
+				})
+			}
+		}
+	}
+	results := sweep.Run(cells, spec.Workers)
+	if err := sweep.FirstErr(results); err != nil {
+		return SweepResult{}, fmt.Errorf("splicer: %w", err)
+	}
+	return SweepResult{Cells: results, Summaries: sweep.Aggregate(results)}, nil
+}
+
+// buildCell captures one cell's private input construction: fresh graph,
+// fresh trace, fresh config.
+func buildCell(net NetworkSpec, wl WorkloadSpec, scheme Scheme, opts []Option) func() (*graph.Graph, []workload.Tx, pcn.Config, error) {
+	return func() (*graph.Graph, []workload.Tx, pcn.Config, error) {
+		g, err := BuildNetwork(net)
+		if err != nil {
+			return nil, nil, pcn.Config{}, err
+		}
+		trace, err := GenerateWorkload(g, wl)
+		if err != nil {
+			return nil, nil, pcn.Config{}, err
+		}
+		cfg := pcn.NewConfig(scheme)
+		for _, opt := range opts {
+			if err := opt(&cfg); err != nil {
+				return nil, nil, pcn.Config{}, err
+			}
+		}
+		return g, trace, cfg, nil
+	}
+}

@@ -1,0 +1,114 @@
+package splicer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func smallSweepSpec(workers int) SweepSpec {
+	return SweepSpec{
+		Network:  NetworkSpec{Nodes: 40},
+		Workload: WorkloadSpec{Rate: 30, Duration: 1.5},
+		Schemes:  []Scheme{Splicer, ShortestPath},
+		Seeds:    []uint64{11, 12, 13},
+		Workers:  workers,
+		Axis: &SweepAxis{
+			Name:   "value_scale",
+			Values: []float64{1, 4},
+			Apply: func(v float64, _ *NetworkSpec, wl *WorkloadSpec) []Option {
+				wl.ValueScale = v
+				return nil
+			},
+		},
+	}
+}
+
+// renderSweep canonicalizes a sweep result for byte-level comparison,
+// excluding the cells' Build closures (func pointers).
+func renderSweep(r SweepResult) string {
+	out := ""
+	for _, c := range r.Cells {
+		out += fmt.Sprintf("%v/%d/%s=%g %+v\n", c.Cell.Scheme, c.Cell.Seed, c.Cell.Axis, c.Cell.X, c.Result)
+	}
+	return out + fmt.Sprintf("%+v", r.Summaries)
+}
+
+// TestRunSweepDeterministicAcrossWorkers: N workers must produce results
+// byte-identical to the sequential run for fixed seeds.
+func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
+	ref, err := RunSweep(smallSweepSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderSweep(ref)
+	for _, workers := range []int{4, 0} {
+		got, err := RunSweep(smallSweepSpec(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderSweep(got) != want {
+			t.Fatalf("workers=%d diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestRunSweepShape: the grid produces axis × schemes × seeds cells and
+// axis × schemes summaries with across-seed stats.
+func TestRunSweepShape(t *testing.T) {
+	res, err := RunSweep(smallSweepSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 3; len(res.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), want)
+	}
+	if want := 2 * 2; len(res.Summaries) != want {
+		t.Fatalf("got %d summaries, want %d", len(res.Summaries), want)
+	}
+	for _, s := range res.Summaries {
+		if s.Seeds != 3 || s.Failed != 0 {
+			t.Fatalf("summary %v x=%g: Seeds=%d Failed=%d, want 3/0", s.Scheme, s.X, s.Seeds, s.Failed)
+		}
+		if s.TSR.Mean < 0 || s.TSR.Mean > 1 {
+			t.Fatalf("summary %v x=%g: TSR mean %g out of range", s.Scheme, s.X, s.TSR.Mean)
+		}
+	}
+	// Larger values should not improve Splicer's success ratio.
+	var tsr1, tsr4 float64
+	for _, s := range res.Summaries {
+		if s.Scheme == Splicer && s.X == 1 {
+			tsr1 = s.TSR.Mean
+		}
+		if s.Scheme == Splicer && s.X == 4 {
+			tsr4 = s.TSR.Mean
+		}
+	}
+	if tsr4 > tsr1 {
+		t.Fatalf("Splicer TSR rose with value scale: %g → %g", tsr1, tsr4)
+	}
+}
+
+// TestRunSweepOptionsAndValidation: global options apply to every cell;
+// an empty scheme list and an empty axis are rejected.
+func TestRunSweepOptionsAndValidation(t *testing.T) {
+	spec := smallSweepSpec(0)
+	spec.Axis = nil
+	spec.Seeds = []uint64{11}
+	spec.Options = []Option{WithUpdateInterval(100 * time.Millisecond)}
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 || len(res.Summaries) != 2 {
+		t.Fatalf("axis-less sweep: %d cells / %d summaries, want 2/2", len(res.Cells), len(res.Summaries))
+	}
+
+	if _, err := RunSweep(SweepSpec{}); err == nil {
+		t.Fatal("RunSweep accepted an empty scheme list")
+	}
+	spec.Axis = &SweepAxis{Name: "empty"}
+	if _, err := RunSweep(spec); err == nil {
+		t.Fatal("RunSweep accepted an axis without values")
+	}
+}
