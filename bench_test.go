@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"github.com/splicer-pcn/splicer/internal/experiments"
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/pcn"
 	"github.com/splicer-pcn/splicer/internal/routing"
 )
 
@@ -235,8 +237,69 @@ func BenchmarkTableIIScheduler(b *testing.B) {
 	}
 }
 
-// Micro-benchmarks of the core machinery (placement solvers and one
-// simulation step) for the ablation story in DESIGN.md.
+// BenchmarkFigScale is the scaling panel trimmed to one mid-size point; the
+// full 2k-10k grid runs via  go run ./cmd/experiments -run figscale.
+func BenchmarkFigScale(b *testing.B) {
+	withGrid(b, &experiments.NodeCountSweep, []float64{400})
+	s := experiments.Scale()
+	s.Rate = 60
+	s.Duration = 2
+	benchSeries(b, experiments.FigScale, s)
+}
+
+// Micro-benchmarks of the core machinery (placement solvers, the
+// path-computation layer and one simulation step) for the ablation story in
+// DESIGN.md.
+
+// BenchmarkPathFinder measures repeated shortest-path queries on one reused
+// finder — the simulator's hot planning path after the PR-2 rewrite.
+func BenchmarkPathFinder(b *testing.B) {
+	g, err := BuildNetwork(NetworkSpec{Seed: 6, Nodes: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pf := graph.NewPathFinder(g)
+	n := g.NumNodes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src := graph.NodeID(i % n)
+		dst := graph.NodeID((i + n/2) % n)
+		if _, ok := pf.ShortestPath(src, dst, graph.UnitWeight); !ok {
+			b.Fatalf("%d->%d unreachable", src, dst)
+		}
+	}
+}
+
+// BenchmarkRouteCache measures the per-payment cost of a cached route
+// lookup — the steady-state planning cost for repeat sender/recipient pairs.
+func BenchmarkRouteCache(b *testing.B) {
+	g, err := BuildNetwork(NetworkSpec{Seed: 7, Nodes: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := pcn.NewRouteCache()
+	pf := graph.NewPathFinder(g)
+	n := g.NumNodes()
+	keys := make([]pcn.RouteKey, 256)
+	for i := range keys {
+		src := graph.NodeID(i % n)
+		dst := graph.NodeID((i + n/2) % n)
+		keys[i] = pcn.RouteKey{Src: src, Dst: dst, Type: routing.KSP, K: 1}
+		p, ok := pf.ShortestPath(src, dst, graph.UnitWeight)
+		if !ok {
+			b.Fatalf("%d->%d unreachable", src, dst)
+		}
+		c.Put(keys[i], []graph.Path{p})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
 
 func BenchmarkPlacementExact10(b *testing.B) {
 	g, err := BuildNetwork(NetworkSpec{Seed: 1, Nodes: 100})

@@ -38,7 +38,8 @@ func main() {
 
 	small := experiments.SmallScale()
 	large := experiments.LargeScale()
-	for _, scen := range []*experiments.Scenario{&small, &large} {
+	scale := experiments.Scale()
+	for _, scen := range []*experiments.Scenario{&small, &large, &scale} {
 		switch {
 		case *workers > 0:
 			scen.Workers = *workers
@@ -63,15 +64,16 @@ func main() {
 	}
 
 	runners := map[string]runner{
-		"fig7a": seriesTable("Fig 7(a): TSR vs channel size (small)", "channel_scale", experiments.FigChannelSize, small),
-		"fig7b": seriesTable("Fig 7(b): TSR vs transaction size (small)", "value_scale", experiments.FigTxnSize, small),
-		"fig7c": seriesTable("Fig 7(c): TSR vs update time (small)", "tau_ms", experiments.FigUpdateTime, small),
-		"fig7d": seriesTable("Fig 7(d): normalized throughput vs update time (small)", "tau_ms", experiments.FigThroughput, small),
-		"fig8a": seriesTable("Fig 8(a): TSR vs channel size (large)", "channel_scale", experiments.FigChannelSize, large),
-		"fig8b": seriesTable("Fig 8(b): TSR vs transaction size (large)", "value_scale", experiments.FigTxnSize, large),
-		"fig8c": seriesTable("Fig 8(c): TSR vs update time (large)", "tau_ms", experiments.FigUpdateTime, large),
-		"fig8d": seriesTable("Fig 8(d): normalized throughput vs update time (large)", "tau_ms", experiments.FigThroughput, large),
-		"fig9a": seriesTable("Fig 9(a): balance cost vs omega (small)", "omega", experiments.FigBalanceCost, small),
+		"fig7a":    seriesTable("Fig 7(a): TSR vs channel size (small)", "channel_scale", experiments.FigChannelSize, small),
+		"fig7b":    seriesTable("Fig 7(b): TSR vs transaction size (small)", "value_scale", experiments.FigTxnSize, small),
+		"fig7c":    seriesTable("Fig 7(c): TSR vs update time (small)", "tau_ms", experiments.FigUpdateTime, small),
+		"fig7d":    seriesTable("Fig 7(d): normalized throughput vs update time (small)", "tau_ms", experiments.FigThroughput, small),
+		"fig8a":    seriesTable("Fig 8(a): TSR vs channel size (large)", "channel_scale", experiments.FigChannelSize, large),
+		"fig8b":    seriesTable("Fig 8(b): TSR vs transaction size (large)", "value_scale", experiments.FigTxnSize, large),
+		"fig8c":    seriesTable("Fig 8(c): TSR vs update time (large)", "tau_ms", experiments.FigUpdateTime, large),
+		"fig8d":    seriesTable("Fig 8(d): normalized throughput vs update time (large)", "tau_ms", experiments.FigThroughput, large),
+		"figscale": seriesTable("Scaling: normalized throughput vs |V| (2k-10k nodes)", "nodes", experiments.FigScale, scale),
+		"fig9a":    seriesTable("Fig 9(a): balance cost vs omega (small)", "omega", experiments.FigBalanceCost, small),
 		"fig9b": func() (experiments.Table, error) {
 			pts, err := experiments.FigCostTradeoff(small)
 			if err != nil {

@@ -179,12 +179,15 @@ func (c *Channel) Capacity() float64 {
 }
 
 // CanForward reports whether value v can currently be locked in direction d
-// under both the balance and the processing-rate constraint.
+// under both the balance and the processing-rate constraint. It applies the
+// same 1e-9 tolerance as Lock (and Settle/Refund), so a TU whose value
+// drifted a few ulps above the balance is forwarded rather than stalling in
+// the queue until its deadline.
 func (c *Channel) CanForward(d Direction, v float64) bool {
-	if c.dirs[d].balance < v {
+	if c.dirs[d].balance < v-1e-9 {
 		return false
 	}
-	if c.ProcessRate > 0 && c.processed[d]+v > c.ProcessRate {
+	if c.ProcessRate > 0 && c.processed[d]+v > c.ProcessRate+1e-9 {
 		return false
 	}
 	return true
@@ -192,39 +195,57 @@ func (c *Channel) CanForward(d Direction, v float64) bool {
 
 // Lock reserves value v in direction d (an HTLC offer). The funds leave the
 // spendable balance until Settle or Refund.
+//
+// Lock applies the same 1e-9 tolerance Settle and Refund use, so a TU whose
+// value drifted a few ulps above the balance (repeated TU splitting and
+// refunds accumulate float error) cannot pass CanForward and then fail
+// here. It also enforces ProcessRate itself: CanForward is advisory and
+// callers must not be able to exceed the per-window rate limit by skipping
+// it.
 func (c *Channel) Lock(d Direction, v float64) error {
 	if v <= 0 {
 		return fmt.Errorf("channel: lock value must be positive, got %v", v)
 	}
-	if c.dirs[d].balance < v {
+	if c.dirs[d].balance < v-1e-9 {
 		return fmt.Errorf("channel: insufficient funds in direction %d: have %v, need %v", d, c.dirs[d].balance, v)
 	}
-	c.dirs[d].balance -= v
-	c.dirs[d].locked += v
+	if c.ProcessRate > 0 && c.processed[d]+v > c.ProcessRate+1e-9 {
+		return fmt.Errorf("channel: rate limit %v exceeded in direction %d: processed %v, lock %v", c.ProcessRate, d, c.processed[d], v)
+	}
+	// Move exactly what the balance holds (the tolerance covers at most a
+	// 1e-9 shortfall): deducting the full v and clamping would mint funds.
+	moved := min(v, c.dirs[d].balance)
+	c.dirs[d].balance -= moved
+	c.dirs[d].locked += moved
 	c.processed[d] += v
 	return nil
 }
 
 // Settle completes a locked forward: the value moves to the other side's
 // spendable balance (receiver can now spend it back), and the arrival is
-// recorded for the imbalance price update.
+// recorded for the imbalance price update. Like Lock, it moves exactly what
+// the locked bucket holds when the 1e-9 tolerance absorbed a drift
+// shortfall, so total channel funds are conserved exactly.
 func (c *Channel) Settle(d Direction, v float64) error {
 	if v <= 0 || c.dirs[d].locked < v-1e-9 {
 		return fmt.Errorf("channel: settle %v exceeds locked %v", v, c.dirs[d].locked)
 	}
-	c.dirs[d].locked -= v
-	c.dirs[d.Reverse()].balance += v
-	c.dirs[d].arrived += v
+	moved := min(v, c.dirs[d].locked)
+	c.dirs[d].locked -= moved
+	c.dirs[d.Reverse()].balance += moved
+	c.dirs[d].arrived += moved
 	return nil
 }
 
 // Refund aborts a locked forward, returning the funds to the sender side.
+// It conserves funds exactly the way Settle does.
 func (c *Channel) Refund(d Direction, v float64) error {
 	if v <= 0 || c.dirs[d].locked < v-1e-9 {
 		return fmt.Errorf("channel: refund %v exceeds locked %v", v, c.dirs[d].locked)
 	}
-	c.dirs[d].locked -= v
-	c.dirs[d].balance += v
+	moved := min(v, c.dirs[d].locked)
+	c.dirs[d].locked -= moved
+	c.dirs[d].balance += moved
 	return nil
 }
 

@@ -360,3 +360,86 @@ func TestPropertyConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLockToleratesFloatDrift(t *testing.T) {
+	// A lock value a few ulps above the balance (accumulated TU-splitting
+	// drift) must succeed under the same 1e-9 tolerance Settle/Refund use.
+	c := newChan(t, 0.3, 1)
+	tenth := 0.1 // runtime value: constant folding would give exactly 0.3
+	v := tenth + tenth + tenth
+	if v <= 0.3 {
+		t.Fatal("test premise: v must exceed the balance by an ulp")
+	}
+	if !c.CanForward(Fwd, v) {
+		t.Fatalf("CanForward rejected %v against balance 0.3: drifted TUs would stall queued", v)
+	}
+	before := c.Capacity()
+	if err := c.Lock(Fwd, v); err != nil {
+		t.Fatalf("Lock rejected %v against balance 0.3: %v", v, err)
+	}
+	if b := c.Balance(Fwd); b < 0 {
+		t.Fatalf("tolerance drove balance negative: %v", b)
+	}
+	if l := c.Locked(Fwd); math.Abs(l-v) > 1e-9 {
+		t.Fatalf("locked %v, want %v within tolerance", l, v)
+	}
+	// The locked funds settle cleanly, and the tolerance must not mint or
+	// destroy funds anywhere along the way.
+	if err := c.Settle(Fwd, v); err != nil {
+		t.Fatal(err)
+	}
+	if after := c.Capacity(); math.Abs(after-before) > 1e-12 {
+		t.Fatalf("drift-tolerant lock/settle changed total funds: %v -> %v", before, after)
+	}
+}
+
+func TestLockBeyondToleranceRejected(t *testing.T) {
+	c := newChan(t, 10, 10)
+	if err := c.Lock(Fwd, 10.001); err == nil {
+		t.Fatal("Lock accepted a value 1e-3 over the balance")
+	}
+	if c.Balance(Fwd) != 10 || c.Locked(Fwd) != 0 {
+		t.Fatalf("failed lock mutated state: balance %v locked %v", c.Balance(Fwd), c.Locked(Fwd))
+	}
+}
+
+func TestLockEnforcesProcessRate(t *testing.T) {
+	// Lock must enforce the rate limit itself: CanForward is advisory and
+	// callers must not be able to bypass r_process.
+	c := newChan(t, 100, 100)
+	c.ProcessRate = 10
+	if err := c.Lock(Fwd, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Lock(Fwd, 8); err == nil {
+		t.Fatal("Lock exceeded ProcessRate without CanForward guarding it")
+	}
+	// The reverse direction has its own budget.
+	if err := c.Lock(Rev, 8); err != nil {
+		t.Fatal(err)
+	}
+	// The window reset restores the budget.
+	c.UpdatePrices(0, 0)
+	if err := c.Lock(Fwd, 8); err != nil {
+		t.Fatalf("rate budget not reset: %v", err)
+	}
+}
+
+func TestCanForwardImpliesLock(t *testing.T) {
+	// Whenever CanForward approves a value, Lock must accept it: the seed's
+	// asymmetry let queue-drained TUs pass the check and then fail the lock.
+	c := newChan(t, 25, 25)
+	c.ProcessRate = 12
+	for _, v := range []float64{1, 4, 11.9999999999, 12} {
+		if !c.CanForward(Fwd, v) {
+			continue
+		}
+		if err := c.Lock(Fwd, v); err != nil {
+			t.Fatalf("CanForward approved %v but Lock failed: %v", v, err)
+		}
+		if err := c.Refund(Fwd, v); err != nil {
+			t.Fatal(err)
+		}
+		c.UpdatePrices(0, 0)
+	}
+}

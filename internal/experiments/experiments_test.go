@@ -279,3 +279,51 @@ func TestRunSchemeMutate(t *testing.T) {
 		t.Fatal("no transactions")
 	}
 }
+
+func TestFigScaleShape(t *testing.T) {
+	base := tinyScenario()
+	base.Duration = 2
+	// Tiny |V| grid for speed; the default 2k–10k grid runs via
+	// cmd/experiments -run figscale.
+	old := NodeCountSweep
+	NodeCountSweep = []float64{40, 80}
+	defer func() { NodeCountSweep = old }()
+	series, err := FigScale(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Schemes) {
+		t.Fatalf("series count %d, want %d", len(series), len(Schemes))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s has %d points", s.Name, len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p.X != NodeCountSweep[i] {
+				t.Fatalf("%s point %d at x=%v, want %v", s.Name, i, p.X, NodeCountSweep[i])
+			}
+			if p.Y < 0 || p.Y > 1 {
+				t.Fatalf("%s normalized throughput %v out of range", s.Name, p.Y)
+			}
+		}
+	}
+}
+
+func TestScaleScenarioBuilds(t *testing.T) {
+	s := Scale()
+	if s.Nodes != 2000 {
+		t.Fatalf("Scale nodes = %d, want 2000", s.Nodes)
+	}
+	s.Nodes = 60 // keep the build cheap; the shape is what matters here
+	g, trace, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 60 || len(trace) == 0 {
+		t.Fatalf("nodes=%d trace=%d", g.NumNodes(), len(trace))
+	}
+	if !g.Connected() {
+		t.Fatal("scale scenario graph not connected")
+	}
+}

@@ -22,6 +22,9 @@ var (
 	ValueScaleSweep = []float64{0.5, 1, 2, 4, 8}
 	// TauSweepMs is the update-time sweep in milliseconds (Fig. 7c/d, 8c/d).
 	TauSweepMs = []float64{100, 200, 400, 600, 800, 1000}
+	// NodeCountSweep is the |V| grid for the FigScale scaling panel
+	// (Watts–Strogatz networks from 2k to 10k nodes).
+	NodeCountSweep = []float64{2000, 4000, 6000, 8000, 10000}
 )
 
 // metric selects which Result field a sweep reports.
@@ -108,6 +111,17 @@ func FigUpdateTime(base Scenario) ([]Series, error) {
 func FigThroughput(base Scenario) ([]Series, error) {
 	return sweepFigure(base, "tau_ms", TauSweepMs, metricThroughput, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
 		return s, func(c *pcn.Config) { c.UpdateTau = x / 1000 }
+	})
+}
+
+// FigScale is the Fig. 9-style scaling panel: normalized throughput vs
+// network size |V|, all schemes, on the Scale scenario. It exercises the
+// path-computation layer end-to-end — every cell builds a fresh 2k–10k-node
+// graph whose route planning funnels through PathFinder and the RouteCache.
+func FigScale(base Scenario) ([]Series, error) {
+	return sweepFigure(base, "nodes", NodeCountSweep, metricThroughput, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
+		s.Nodes = int(x)
+		return s, nil
 	})
 }
 

@@ -85,6 +85,23 @@ func LargeScale() Scenario {
 	return s
 }
 
+// Scale returns the scaling scenario beyond the paper's grid: a 2000-node
+// Watts–Strogatz network by default, swept up to 10k nodes by FigScale. The
+// trace is trimmed relative to LargeScale so the biggest graphs stay inside
+// the simulation budget; the point of the scenario is stressing the
+// path-computation layer (PathFinder scratch reuse, the shared RouteCache)
+// with network size, not trace length.
+func Scale() Scenario {
+	s := SmallScale()
+	s.Name = "scale"
+	s.Seed = 3
+	s.Nodes = 2000
+	s.Rate = 200
+	s.Duration = 4
+	s.HubCandidates = 24
+	return s
+}
+
 // Build materializes the graph and trace.
 func (s Scenario) Build() (*graph.Graph, []workload.Tx, error) {
 	src := rng.New(s.Seed)

@@ -13,7 +13,6 @@ package graph
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // NodeID identifies a node. IDs are dense indices in [0, NumNodes).
@@ -284,105 +283,19 @@ func (g *Graph) Connected() bool {
 }
 
 // ShortestPath runs Dijkstra from src to dst under w and returns the
-// minimum-cost path. ok is false when dst is unreachable.
+// minimum-cost path. ok is false when dst is unreachable. Repeated queries
+// should share a PathFinder instead, which keeps the Dijkstra scratch
+// buffers across calls.
 func (g *Graph) ShortestPath(src, dst NodeID, w WeightFunc) (Path, bool) {
-	n := g.NumNodes()
-	dist := make([]float64, n)
-	prevEdge := make([]EdgeID, n)
-	prevNode := make([]NodeID, n)
-	visited := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prevEdge[i] = -1
-		prevNode[i] = -1
-	}
-	dist[src] = 0
-	pq := newNodeHeap()
-	pq.push(src, 0)
-	for pq.len() > 0 {
-		u, du := pq.pop()
-		if visited[u] {
-			continue
-		}
-		visited[u] = true
-		if u == dst {
-			break
-		}
-		for _, eid := range g.adj[u] {
-			e := g.edges[eid]
-			cost := w(e, u)
-			if math.IsInf(cost, 1) {
-				continue
-			}
-			if cost < 0 {
-				panic("graph: negative edge weight")
-			}
-			v := e.Other(u)
-			if nd := du + cost; nd < dist[v] {
-				dist[v] = nd
-				prevEdge[v] = eid
-				prevNode[v] = u
-				pq.push(v, nd)
-			}
-		}
-	}
-	if math.IsInf(dist[dst], 1) {
-		return Path{}, false
-	}
-	return reconstruct(src, dst, prevNode, prevEdge), true
+	return NewPathFinder(g).ShortestPath(src, dst, w)
 }
 
 // WidestPath returns the path from src to dst maximizing the bottleneck
 // directional capacity (a maximin Dijkstra). Ties are broken by hop count.
 // ok is false when dst is unreachable through positive-capacity arcs.
+// Repeated queries should share a PathFinder.
 func (g *Graph) WidestPath(src, dst NodeID) (Path, bool) {
-	n := g.NumNodes()
-	width := make([]float64, n)
-	hops := make([]int, n)
-	prevEdge := make([]EdgeID, n)
-	prevNode := make([]NodeID, n)
-	done := make([]bool, n)
-	for i := range width {
-		width[i] = 0
-		hops[i] = math.MaxInt
-		prevEdge[i] = -1
-		prevNode[i] = -1
-	}
-	width[src] = math.Inf(1)
-	hops[src] = 0
-	pq := newNodeHeap()
-	pq.push(src, 0) // priority = -width so the widest pops first
-	for pq.len() > 0 {
-		u, _ := pq.pop()
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		if u == dst {
-			break
-		}
-		for _, eid := range g.adj[u] {
-			e := g.edges[eid]
-			c := e.Capacity(u)
-			if c <= 0 {
-				continue
-			}
-			v := e.Other(u)
-			nw := math.Min(width[u], c)
-			nh := hops[u] + 1
-			if nw > width[v] || (nw == width[v] && nh < hops[v]) {
-				width[v] = nw
-				hops[v] = nh
-				prevEdge[v] = eid
-				prevNode[v] = u
-				pq.push(v, -nw)
-			}
-		}
-	}
-	if width[dst] <= 0 || (prevNode[dst] == -1 && src != dst) {
-		return Path{}, false
-	}
-	return reconstruct(src, dst, prevNode, prevEdge), true
+	return NewPathFinder(g).WidestPath(src, dst)
 }
 
 func reconstruct(src, dst NodeID, prevNode []NodeID, prevEdge []EdgeID) Path {
@@ -408,90 +321,9 @@ func reconstruct(src, dst NodeID, prevNode []NodeID, prevEdge []EdgeID) Path {
 
 // KShortestPaths implements Yen's algorithm, returning up to k loopless
 // minimum-cost paths from src to dst under w, in nondecreasing cost order.
+// Repeated queries should share a PathFinder.
 func (g *Graph) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Path {
-	if k <= 0 {
-		return nil
-	}
-	first, ok := g.ShortestPath(src, dst, w)
-	if !ok {
-		return nil
-	}
-	result := []Path{first}
-	type candidate struct {
-		path Path
-		cost float64
-	}
-	var candidates []candidate
-	pathCost := func(p Path) float64 {
-		c := 0.0
-		for i, eid := range p.Edges {
-			c += w(g.edges[eid], p.Nodes[i])
-		}
-		return c
-	}
-	seen := map[string]bool{pathKey(first): true}
-
-	for len(result) < k {
-		prev := result[len(result)-1]
-		for i := 0; i < len(prev.Nodes)-1; i++ {
-			spurNode := prev.Nodes[i]
-			rootNodes := prev.Nodes[:i+1]
-			rootEdges := prev.Edges[:i]
-
-			// Exclude arcs that would recreate any already-found path
-			// sharing this root, and exclude root nodes to keep paths
-			// loopless.
-			bannedEdges := map[EdgeID]bool{}
-			for _, rp := range result {
-				if len(rp.Nodes) > i && equalPrefix(rp.Nodes, rootNodes) {
-					bannedEdges[rp.Edges[i]] = true
-				}
-			}
-			bannedNodes := map[NodeID]bool{}
-			for _, n := range rootNodes[:len(rootNodes)-1] {
-				bannedNodes[n] = true
-			}
-			wf := func(e Edge, from NodeID) float64 {
-				if bannedEdges[e.ID] || bannedNodes[e.Other(from)] {
-					return math.Inf(1)
-				}
-				return w(e, from)
-			}
-			spur, ok := g.ShortestPath(spurNode, dst, wf)
-			if !ok {
-				continue
-			}
-			total := Path{
-				Nodes: append(append([]NodeID(nil), rootNodes...), spur.Nodes[1:]...),
-				Edges: append(append([]EdgeID(nil), rootEdges...), spur.Edges...),
-			}
-			key := pathKey(total)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			candidates = append(candidates, candidate{path: total, cost: pathCost(total)})
-		}
-		if len(candidates) == 0 {
-			break
-		}
-		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].cost < candidates[b].cost })
-		result = append(result, candidates[0].path)
-		candidates = candidates[1:]
-	}
-	return result
-}
-
-func equalPrefix(nodes []NodeID, prefix []NodeID) bool {
-	if len(nodes) < len(prefix) {
-		return false
-	}
-	for i := range prefix {
-		if nodes[i] != prefix[i] {
-			return false
-		}
-	}
-	return true
+	return NewPathFinder(g).KShortestPaths(src, dst, k, w)
 }
 
 func pathKey(p Path) string {
@@ -505,15 +337,9 @@ func pathKey(p Path) string {
 // EdgeDisjointShortestPaths greedily extracts up to k pairwise edge-disjoint
 // shortest (fewest-hop) paths: find a shortest path, remove its edges,
 // repeat. This matches the EDS path type in the paper's Table II.
+// Repeated queries should share a PathFinder.
 func (g *Graph) EdgeDisjointShortestPaths(src, dst NodeID, k int) []Path {
-	return g.edgeDisjoint(src, dst, k, func(used map[EdgeID]bool) (Path, bool) {
-		return g.ShortestPath(src, dst, func(e Edge, from NodeID) float64 {
-			if used[e.ID] {
-				return math.Inf(1)
-			}
-			return 1
-		})
-	})
+	return NewPathFinder(g).EdgeDisjointShortestPaths(src, dst, k)
 }
 
 // EdgeDisjointWidestPaths greedily extracts up to k pairwise edge-disjoint
@@ -521,9 +347,10 @@ func (g *Graph) EdgeDisjointShortestPaths(src, dst NodeID, k int) []Path {
 // repeat.
 func (g *Graph) EdgeDisjointWidestPaths(src, dst NodeID, k int) []Path {
 	masked := g.Clone()
+	pf := NewPathFinder(masked)
 	var out []Path
 	for len(out) < k {
-		p, ok := masked.WidestPath(src, dst)
+		p, ok := pf.WidestPath(src, dst)
 		if !ok {
 			break
 		}
@@ -535,40 +362,10 @@ func (g *Graph) EdgeDisjointWidestPaths(src, dst NodeID, k int) []Path {
 	return out
 }
 
-func (g *Graph) edgeDisjoint(src, dst NodeID, k int, next func(used map[EdgeID]bool) (Path, bool)) []Path {
-	used := map[EdgeID]bool{}
-	var out []Path
-	for len(out) < k {
-		p, ok := next(used)
-		if !ok {
-			break
-		}
-		out = append(out, p)
-		for _, eid := range p.Edges {
-			used[eid] = true
-		}
-	}
-	return out
-}
-
 // HighestFundPaths implements the paper's "Heuristic" path type: pick up to
 // k loopless paths with the highest bottleneck funds, by running Yen's
 // algorithm under an inverse-capacity weight and reranking by bottleneck.
+// Repeated queries should share a PathFinder.
 func (g *Graph) HighestFundPaths(src, dst NodeID, k int) []Path {
-	// Generate a wider candidate pool than k, then keep the k with the
-	// largest bottleneck capacity.
-	pool := g.KShortestPaths(src, dst, 3*k, func(e Edge, from NodeID) float64 {
-		c := e.Capacity(from)
-		if c <= 0 {
-			return math.Inf(1)
-		}
-		return 1 / c
-	})
-	sort.SliceStable(pool, func(a, b int) bool {
-		return pool[a].Bottleneck(g) > pool[b].Bottleneck(g)
-	})
-	if len(pool) > k {
-		pool = pool[:k]
-	}
-	return pool
+	return NewPathFinder(g).HighestFundPaths(src, dst, k)
 }

@@ -73,6 +73,42 @@ func BenchmarkEdgeDisjointWidest5(b *testing.B) {
 	}
 }
 
+func BenchmarkPathFinderShortest1000(b *testing.B) {
+	g := benchGraph(b, 1000)
+	pf := NewPathFinder(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := pf.ShortestPath(0, 500, UnitWeight); !ok {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+func BenchmarkPathFinderWidest1000(b *testing.B) {
+	g := benchGraph(b, 1000)
+	pf := NewPathFinder(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := pf.WidestPath(0, 500); !ok {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+func BenchmarkPathFinderKShortest5(b *testing.B) {
+	g := benchGraph(b, 300)
+	pf := NewPathFinder(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if paths := pf.KShortestPaths(0, 150, 5, UnitWeight); len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
 func BenchmarkMaxFlow1000(b *testing.B) {
 	g := benchGraph(b, 1000)
 	b.ReportAllocs()

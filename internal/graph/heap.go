@@ -8,9 +8,13 @@ type nodeHeap struct {
 	prio  []float64
 }
 
-func newNodeHeap() *nodeHeap { return &nodeHeap{} }
-
 func (h *nodeHeap) len() int { return len(h.nodes) }
+
+// reset empties the heap, keeping its backing arrays for reuse.
+func (h *nodeHeap) reset() {
+	h.nodes = h.nodes[:0]
+	h.prio = h.prio[:0]
+}
 
 func (h *nodeHeap) push(n NodeID, p float64) {
 	h.nodes = append(h.nodes, n)
@@ -54,4 +58,71 @@ func (h *nodeHeap) pop() (NodeID, float64) {
 func (h *nodeHeap) swap(i, j int) {
 	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
 	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+}
+
+// candidateHeap is a binary min-heap of Yen candidate paths ordered by
+// (cost, insertion sequence). The sequence tie-break makes pop order match
+// the stable sort the algorithm previously used, so equal-cost paths keep
+// their discovery order.
+type candidateHeap struct {
+	paths []Path
+	costs []float64
+	seqs  []uint64
+}
+
+func (h *candidateHeap) len() int { return len(h.paths) }
+
+func (h *candidateHeap) less(i, j int) bool {
+	if h.costs[i] != h.costs[j] {
+		return h.costs[i] < h.costs[j]
+	}
+	return h.seqs[i] < h.seqs[j]
+}
+
+func (h *candidateHeap) swap(i, j int) {
+	h.paths[i], h.paths[j] = h.paths[j], h.paths[i]
+	h.costs[i], h.costs[j] = h.costs[j], h.costs[i]
+	h.seqs[i], h.seqs[j] = h.seqs[j], h.seqs[i]
+}
+
+func (h *candidateHeap) push(p Path, cost float64, seq uint64) {
+	h.paths = append(h.paths, p)
+	h.costs = append(h.costs, cost)
+	h.seqs = append(h.seqs, seq)
+	i := len(h.paths) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *candidateHeap) pop() Path {
+	p := h.paths[0]
+	last := len(h.paths) - 1
+	h.swap(0, last)
+	h.paths[last] = Path{} // release the path's slices
+	h.paths = h.paths[:last]
+	h.costs = h.costs[:last]
+	h.seqs = h.seqs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return p
 }

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// PathFinder owns the scratch state for repeated shortest- and widest-path
+// queries over one graph: pre-sized dist/prev arrays, query-stamped validity
+// marks (so "reset" between queries is O(1)), and a reusable binary heap.
+// Repeated queries therefore allocate only the returned Path. Yen's
+// algorithm (KShortestPaths) runs every spur search on the same scratch
+// state, which is where the bulk of the path-selection allocations used to
+// come from.
+//
+// A PathFinder is not safe for concurrent use; create one per goroutine.
+// It tracks graph growth lazily, so a long-lived finder stays valid across
+// AddNode/AddEdge (e.g. the multi-star reshape adding client channels).
+type PathFinder struct {
+	g        *Graph
+	dist     []float64 // tentative cost (shortest) or bottleneck width (widest)
+	hops     []int     // hop counts for widest-path tie-breaking
+	prevEdge []EdgeID
+	prevNode []NodeID
+	seen     []uint32 // stamp: dist/prev valid in the current query
+	done     []uint32 // stamp: node finalized in the current query
+	query    uint32
+	heap     nodeHeap
+
+	// Yen scratch.
+	bannedNode []bool
+	bannedEdge map[EdgeID]bool
+}
+
+// NewPathFinder returns a finder for g.
+func NewPathFinder(g *Graph) *PathFinder {
+	pf := &PathFinder{g: g}
+	pf.ensure()
+	return pf
+}
+
+// Graph returns the graph this finder is bound to.
+func (pf *PathFinder) Graph() *Graph { return pf.g }
+
+// ensure sizes the scratch arrays to the graph's current node count.
+func (pf *PathFinder) ensure() {
+	n := pf.g.NumNodes()
+	if len(pf.dist) >= n {
+		return
+	}
+	pf.dist = make([]float64, n)
+	pf.hops = make([]int, n)
+	pf.prevEdge = make([]EdgeID, n)
+	pf.prevNode = make([]NodeID, n)
+	pf.seen = make([]uint32, n)
+	pf.done = make([]uint32, n)
+	pf.bannedNode = make([]bool, n)
+	pf.query = 0
+}
+
+// begin starts a new query: bumping the stamp invalidates every per-node
+// mark from earlier queries without touching the arrays.
+func (pf *PathFinder) begin() {
+	pf.ensure()
+	pf.query++
+	if pf.query == 0 { // stamp wraparound: clear once and restart
+		for i := range pf.seen {
+			pf.seen[i] = 0
+			pf.done[i] = 0
+		}
+		pf.query = 1
+	}
+	pf.heap.reset()
+}
+
+// ShortestPath runs Dijkstra from src to dst under w on the finder's scratch
+// state and returns the minimum-cost path. ok is false when dst is
+// unreachable.
+func (pf *PathFinder) ShortestPath(src, dst NodeID, w WeightFunc) (Path, bool) {
+	pf.begin()
+	g := pf.g
+	pf.dist[src] = 0
+	pf.prevEdge[src] = -1
+	pf.prevNode[src] = -1
+	pf.seen[src] = pf.query
+	pf.heap.push(src, 0)
+	for pf.heap.len() > 0 {
+		u, du := pf.heap.pop()
+		if pf.done[u] == pf.query {
+			continue
+		}
+		pf.done[u] = pf.query
+		if u == dst {
+			break
+		}
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			cost := w(e, u)
+			if math.IsInf(cost, 1) {
+				continue
+			}
+			if cost < 0 {
+				panic("graph: negative edge weight")
+			}
+			v := e.Other(u)
+			if nd := du + cost; pf.seen[v] != pf.query || nd < pf.dist[v] {
+				pf.dist[v] = nd
+				pf.prevEdge[v] = eid
+				pf.prevNode[v] = u
+				pf.seen[v] = pf.query
+				pf.heap.push(v, nd)
+			}
+		}
+	}
+	if pf.seen[dst] != pf.query {
+		return Path{}, false
+	}
+	return reconstruct(src, dst, pf.prevNode, pf.prevEdge), true
+}
+
+// WidestPath returns the path from src to dst maximizing the bottleneck
+// directional capacity (a maximin Dijkstra). Ties are broken by hop count.
+// ok is false when dst is unreachable through positive-capacity arcs.
+func (pf *PathFinder) WidestPath(src, dst NodeID) (Path, bool) {
+	pf.begin()
+	g := pf.g
+	pf.dist[src] = math.Inf(1) // dist doubles as the bottleneck width
+	pf.hops[src] = 0
+	pf.prevEdge[src] = -1
+	pf.prevNode[src] = -1
+	pf.seen[src] = pf.query
+	pf.heap.push(src, 0) // priority = -width so the widest pops first
+	for pf.heap.len() > 0 {
+		u, _ := pf.heap.pop()
+		if pf.done[u] == pf.query {
+			continue
+		}
+		pf.done[u] = pf.query
+		if u == dst {
+			break
+		}
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			c := e.Capacity(u)
+			if c <= 0 {
+				continue
+			}
+			v := e.Other(u)
+			nw := math.Min(pf.dist[u], c)
+			nh := pf.hops[u] + 1
+			if pf.seen[v] != pf.query || nw > pf.dist[v] || (nw == pf.dist[v] && nh < pf.hops[v]) {
+				pf.dist[v] = nw
+				pf.hops[v] = nh
+				pf.prevEdge[v] = eid
+				pf.prevNode[v] = u
+				pf.seen[v] = pf.query
+				pf.heap.push(v, -nw)
+			}
+		}
+	}
+	if pf.seen[dst] != pf.query || (pf.prevNode[dst] == -1 && src != dst) {
+		return Path{}, false
+	}
+	return reconstruct(src, dst, pf.prevNode, pf.prevEdge), true
+}
+
+// KShortestPaths implements Yen's algorithm on the finder's scratch state,
+// returning up to k loopless minimum-cost paths from src to dst under w, in
+// nondecreasing cost order. Equal-cost candidates keep their discovery order
+// (the candidate heap tie-breaks on insertion sequence, matching the
+// stable-sort semantics this replaced).
+func (pf *PathFinder) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := pf.ShortestPath(src, dst, w)
+	if !ok {
+		return nil
+	}
+	g := pf.g
+	result := []Path{first}
+	seen := map[string]bool{pathKey(first): true}
+	if pf.bannedEdge == nil {
+		pf.bannedEdge = map[EdgeID]bool{}
+	}
+	var cands candidateHeap
+	var seq uint64
+	pathCost := func(p Path) float64 {
+		c := 0.0
+		for i, eid := range p.Edges {
+			c += w(g.edges[eid], p.Nodes[i])
+		}
+		return c
+	}
+	wf := func(e Edge, from NodeID) float64 {
+		if pf.bannedEdge[e.ID] || pf.bannedNode[e.Other(from)] {
+			return math.Inf(1)
+		}
+		return w(e, from)
+	}
+	sharing := make([]int, 0, k)
+
+	for len(result) < k {
+		prev := result[len(result)-1]
+		// Result paths sharing the current spur root. Every result path
+		// starts at src, so all share the length-1 root; the set only
+		// shrinks as the root grows, so it is filtered incrementally rather
+		// than re-scanning every result path per spur node.
+		sharing = sharing[:0]
+		for idx := range result {
+			sharing = append(sharing, idx)
+		}
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			keep := sharing[:0]
+			for _, idx := range sharing {
+				if rp := result[idx]; len(rp.Nodes) > i && rp.Nodes[i] == prev.Nodes[i] {
+					keep = append(keep, idx)
+				}
+			}
+			sharing = keep
+			// Exclude arcs that would recreate any already-found path
+			// sharing this root, and exclude earlier root nodes to keep spur
+			// paths loopless (the root grows one node per iteration).
+			clear(pf.bannedEdge)
+			for _, idx := range sharing {
+				if rp := result[idx]; len(rp.Edges) > i {
+					pf.bannedEdge[rp.Edges[i]] = true
+				}
+			}
+			if i > 0 {
+				pf.bannedNode[prev.Nodes[i-1]] = true
+			}
+			spur, ok := pf.ShortestPath(prev.Nodes[i], dst, wf)
+			if !ok {
+				continue
+			}
+			total := Path{
+				Nodes: append(append([]NodeID(nil), prev.Nodes[:i+1]...), spur.Nodes[1:]...),
+				Edges: append(append([]EdgeID(nil), prev.Edges[:i]...), spur.Edges...),
+			}
+			key := pathKey(total)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cands.push(total, pathCost(total), seq)
+			seq++
+		}
+		if n := len(prev.Nodes) - 2; n > 0 {
+			for _, nid := range prev.Nodes[:n] {
+				pf.bannedNode[nid] = false
+			}
+		}
+		if cands.len() == 0 {
+			break
+		}
+		result = append(result, cands.pop())
+	}
+	return result
+}
+
+// EdgeDisjointShortestPaths greedily extracts up to k pairwise edge-disjoint
+// shortest (fewest-hop) paths on the finder's scratch state: find a shortest
+// path, remove its edges, repeat.
+func (pf *PathFinder) EdgeDisjointShortestPaths(src, dst NodeID, k int) []Path {
+	used := map[EdgeID]bool{}
+	w := func(e Edge, from NodeID) float64 {
+		if used[e.ID] {
+			return math.Inf(1)
+		}
+		return 1
+	}
+	var out []Path
+	for len(out) < k {
+		p, ok := pf.ShortestPath(src, dst, w)
+		if !ok {
+			break
+		}
+		out = append(out, p)
+		for _, eid := range p.Edges {
+			used[eid] = true
+		}
+	}
+	return out
+}
+
+// HighestFundPaths implements the paper's "Heuristic" path type on the
+// finder's scratch state: pick up to k loopless paths with the highest
+// bottleneck funds, by running Yen's algorithm under an inverse-capacity
+// weight and reranking by bottleneck.
+func (pf *PathFinder) HighestFundPaths(src, dst NodeID, k int) []Path {
+	// Generate a wider candidate pool than k, then keep the k with the
+	// largest bottleneck capacity.
+	pool := pf.KShortestPaths(src, dst, 3*k, func(e Edge, from NodeID) float64 {
+		c := e.Capacity(from)
+		if c <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / c
+	})
+	g := pf.g
+	sort.SliceStable(pool, func(a, b int) bool {
+		return pool[a].Bottleneck(g) > pool[b].Bottleneck(g)
+	})
+	if len(pool) > k {
+		pool = pool[:k]
+	}
+	return pool
+}

@@ -88,6 +88,9 @@ func (n *Network) dispatch(tx workload.Tx) {
 
 	rateControlled := n.splitsTUs()
 	if rateControlled {
+		// Register the planned path set for the τ-probe loop, which
+		// refreshes path prices and rates per pair each tick.
+		n.pathsFor[run.pair] = paths
 		if _, ok := n.rateCtl[run.pair]; !ok {
 			rc, rcErr := routing.NewRateController(len(paths), n.cfg.Alpha, n.cfg.Beta, n.cfg.Gamma, n.cfg.InitPathRate, n.cfg.InitWindow)
 			if rcErr != nil {

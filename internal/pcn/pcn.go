@@ -199,11 +199,19 @@ type Network struct {
 	engine  *sim.Engine
 	metrics *sim.Metrics
 
-	hubs     []graph.NodeID
-	isHub    map[graph.NodeID]bool
-	hubOf    map[graph.NodeID]graph.NodeID // client → managing hub (Splicer/A2L)
-	pathsFor map[pairKey][]graph.Path
-	rateCtl  map[pairKey]*routing.RateController
+	hubs  []graph.NodeID
+	isHub map[graph.NodeID]bool
+	hubOf map[graph.NodeID]graph.NodeID // client → managing hub (Splicer/A2L)
+	// routes is the shared route-computation cache (see RouteCache for the
+	// invalidation contract); pathFinder is the shared Dijkstra scratch
+	// state for cache misses (a Network is single-goroutine, so one finder
+	// serves every policy query); pathsFor tracks the path set most
+	// recently planned per pair, which the τ-probe loop refreshes prices
+	// for.
+	routes     *RouteCache
+	pathFinder *graph.PathFinder
+	pathsFor   map[pairKey][]graph.Path
+	rateCtl    map[pairKey]*routing.RateController
 
 	// Serialized compute resources: next-free time per sender (source
 	// routing) or per hub.
@@ -242,6 +250,7 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 		metrics:     sim.NewMetrics(),
 		isHub:       map[graph.NodeID]bool{},
 		hubOf:       map[graph.NodeID]graph.NodeID{},
+		routes:      NewRouteCache(),
 		pathsFor:    map[pairKey][]graph.Path{},
 		rateCtl:     map[pairKey]*routing.RateController{},
 		cpuFree:     map[graph.NodeID]float64{},
@@ -317,6 +326,7 @@ func (n *Network) ReshapeMultiStar() {
 		ch.QueueLimit = n.cfg.QueueLimit
 		n.chans = append(n.chans, ch)
 	}
+	n.InvalidateRoutes() // the graph gained channels; cached paths are stale
 }
 
 // CapitalizeHubs scales the funds of hub-incident channels by
@@ -346,6 +356,12 @@ func (n *Network) CapitalizeHubs() {
 			n.chans[eid] = nc
 		}
 	}
+	// Defensive eviction: path selection reads the graph's static edge
+	// capacities, which this does not touch (only channel funds change), so
+	// nothing cached is actually stale today — but the invalidation
+	// contract is cheap to honor uniformly for every funds/topology
+	// mutation, and keeps a future capacity-writing boost safe.
+	n.InvalidateRoutes()
 }
 
 // placeHubs runs the placement pipeline: candidate list by excellence
@@ -428,6 +444,33 @@ func (n *Network) assignClients() {
 		}
 		n.hubOf[node] = n.hubs[best]
 	}
+}
+
+// Routes returns the network-wide route cache. Policies funnel every path
+// computation through it (typically via GetOrCompute) so repeat payments and
+// shared segments skip the graph algorithms.
+func (n *Network) Routes() *RouteCache { return n.routes }
+
+// PathFinder returns the network's shared path-computation scratch state,
+// so route-cache misses run allocation-free instead of building throwaway
+// Dijkstra buffers per query. The network (and hence the finder) is
+// single-goroutine; parallel sweep workers each own a private Network. The
+// finder tracks graph growth lazily, so it stays valid across the
+// multi-star reshape.
+func (n *Network) PathFinder() *graph.PathFinder {
+	if n.pathFinder == nil {
+		n.pathFinder = graph.NewPathFinder(n.g)
+	}
+	return n.pathFinder
+}
+
+// InvalidateRoutes evicts every cached path set and the per-pair probe
+// registry. Topology mutations (ReshapeMultiStar, CapitalizeHubs, or any
+// out-of-package Setup that reshapes the graph) call this so stale paths
+// never route payments.
+func (n *Network) InvalidateRoutes() {
+	n.routes.Invalidate()
+	clear(n.pathsFor)
 }
 
 // Channel returns the live channel for an edge.

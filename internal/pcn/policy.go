@@ -71,13 +71,13 @@ type SchemePolicy interface {
 // Concrete policies embed it and override what they need.
 type basePolicy struct{ scheme Scheme }
 
-func (b basePolicy) Scheme() Scheme          { return b.scheme }
-func (basePolicy) Setup(*Network) error      { return nil }
-func (basePolicy) UsesQueues() bool          { return false }
-func (basePolicy) UsesPrices() bool          { return false }
-func (basePolicy) SplitsTUs() bool           { return false }
-func (basePolicy) WantsTick() bool           { return false }
-func (basePolicy) OnTick(*Network)           {}
+func (b basePolicy) Scheme() Scheme                               { return b.scheme }
+func (basePolicy) Setup(*Network) error                           { return nil }
+func (basePolicy) UsesQueues() bool                               { return false }
+func (basePolicy) UsesPrices() bool                               { return false }
+func (basePolicy) SplitsTUs() bool                                { return false }
+func (basePolicy) WantsTick() bool                                { return false }
+func (basePolicy) OnTick(*Network)                                {}
 func (basePolicy) AlignDispatch(_ *Network, free float64) float64 { return free }
 
 // ComputeOwner defaults to source routing: the sender's own machine computes

@@ -48,20 +48,24 @@ func (a2lPolicy) AlignDispatch(n *Network, free float64) float64 {
 // piece, as the PCH protocol requires.
 func (a2lPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
 	hub := n.hubs[0]
-	paths, ok := n.CachedPaths(tx.Sender, tx.Recipient)
-	if !ok {
+	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: 1}
+	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+		pf := n.PathFinder()
 		if hub == tx.Sender || hub == tx.Recipient {
-			if p, found := n.g.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); found {
-				paths = []graph.Path{p}
+			if p, found := pf.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); found {
+				return []graph.Path{p}, nil
 			}
-		} else {
-			p1, ok1 := n.g.ShortestPath(tx.Sender, hub, graph.UnitWeight)
-			p2, ok2 := n.g.ShortestPath(hub, tx.Recipient, graph.UnitWeight)
-			if ok1 && ok2 {
-				paths = []graph.Path{concatPaths(p1, p2)}
-			}
+			return nil, nil
 		}
-		n.CachePaths(tx.Sender, tx.Recipient, paths)
+		p1, ok1 := pf.ShortestPath(tx.Sender, hub, graph.UnitWeight)
+		p2, ok2 := pf.ShortestPath(hub, tx.Recipient, graph.UnitWeight)
+		if !ok1 || !ok2 {
+			return nil, nil
+		}
+		return []graph.Path{concatPaths(p1, p2)}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	if len(paths) == 0 {
 		return nil, nil, nil

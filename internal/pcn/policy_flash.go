@@ -2,6 +2,7 @@ package pcn
 
 import (
 	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/routing"
 	"github.com/splicer-pcn/splicer/internal/workload"
 )
 
@@ -9,11 +10,11 @@ import (
 // modified max-flow on current spendable balances and send along the flow
 // decomposition; small payments pick one of a few precomputed shortest paths
 // at random. The policy owns the τ-stale balance snapshot its max-flow runs
-// against (source routers only learn balances from the periodic gossip) and
-// the precomputed mice-path cache.
+// against (source routers only learn balances from the periodic gossip);
+// the precomputed mice paths live in the network's shared RouteCache under
+// their (KSP, FlashMicePaths) key.
 type flashPolicy struct {
 	basePolicy
-	mice map[pairKey][]graph.Path
 	view *graph.Graph
 }
 
@@ -46,14 +47,12 @@ func (p *flashPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocati
 		}
 		return paths, allocs, nil
 	}
-	if p.mice == nil {
-		p.mice = map[pairKey][]graph.Path{}
-	}
-	pair := pairKey{tx.Sender, tx.Recipient}
-	paths, ok := p.mice[pair]
-	if !ok {
-		paths = n.g.KShortestPaths(tx.Sender, tx.Recipient, n.cfg.FlashMicePaths, graph.UnitWeight)
-		p.mice[pair] = paths
+	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: routing.KSP, K: n.cfg.FlashMicePaths}
+	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+		return n.PathFinder().KShortestPaths(tx.Sender, tx.Recipient, n.cfg.FlashMicePaths, graph.UnitWeight), nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	if len(paths) == 0 {
 		return nil, nil, nil

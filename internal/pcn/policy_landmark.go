@@ -20,19 +20,29 @@ func (p *landmarkPolicy) Setup(n *Network) error {
 }
 
 func (p *landmarkPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
-	var paths []graph.Path
-	for _, lm := range p.landmarks {
-		if lm == tx.Sender || lm == tx.Recipient {
-			if pa, ok := n.g.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); ok {
-				paths = append(paths, pa)
+	// Landmark routes are capacity-independent, so repeat pairs hit the
+	// shared route cache instead of recomputing the per-landmark detours.
+	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: n.cfg.NumPaths}
+	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+		pf := n.PathFinder()
+		var out []graph.Path
+		for _, lm := range p.landmarks {
+			if lm == tx.Sender || lm == tx.Recipient {
+				if pa, ok := pf.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); ok {
+					out = append(out, pa)
+				}
+				continue
 			}
-			continue
+			p1, ok1 := pf.ShortestPath(tx.Sender, lm, graph.UnitWeight)
+			p2, ok2 := pf.ShortestPath(lm, tx.Recipient, graph.UnitWeight)
+			if ok1 && ok2 {
+				out = append(out, concatPaths(p1, p2))
+			}
 		}
-		p1, ok1 := n.g.ShortestPath(tx.Sender, lm, graph.UnitWeight)
-		p2, ok2 := n.g.ShortestPath(lm, tx.Recipient, graph.UnitWeight)
-		if ok1 && ok2 {
-			paths = append(paths, concatPaths(p1, p2))
-		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	if len(paths) == 0 {
 		return nil, nil, nil

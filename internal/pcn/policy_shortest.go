@@ -2,6 +2,7 @@ package pcn
 
 import (
 	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/routing"
 	"github.com/splicer-pcn/splicer/internal/workload"
 )
 
@@ -10,9 +11,19 @@ import (
 type shortestPathPolicy struct{ basePolicy }
 
 func (shortestPathPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
-	p, ok := n.g.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight)
-	if !ok {
+	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: routing.KSP, K: 1}
+	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+		p, ok := n.PathFinder().ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight)
+		if !ok {
+			return nil, nil
+		}
+		return []graph.Path{p}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(paths) == 0 {
 		return nil, nil, nil
 	}
-	return []graph.Path{p}, []Allocation{{PathIdx: 0, Value: tx.Value}}, nil
+	return paths, []Allocation{{PathIdx: 0, Value: tx.Value}}, nil
 }

@@ -16,14 +16,12 @@ func (spiderPolicy) UsesQueues() bool { return true }
 func (spiderPolicy) SplitsTUs() bool  { return true }
 
 func (spiderPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
-	paths, ok := n.CachedPaths(tx.Sender, tx.Recipient)
-	if !ok {
-		var err error
-		paths, err = routing.SelectPaths(n.g, tx.Sender, tx.Recipient, n.cfg.NumPaths, routing.EDW)
-		if err != nil {
-			return nil, nil, err
-		}
-		n.CachePaths(tx.Sender, tx.Recipient, paths)
+	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: routing.EDW, K: n.cfg.NumPaths}
+	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+		return routing.SelectPathsWith(n.PathFinder(), tx.Sender, tx.Recipient, n.cfg.NumPaths, routing.EDW)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	if len(paths) == 0 {
 		return nil, nil, nil

@@ -47,34 +47,50 @@ func (splicerPolicy) ComputeOwner(n *Network, tx workload.Tx) (graph.NodeID, flo
 // s→hub(s), k hub-to-hub paths of the configured path type, access segment
 // hub(r)→r. Demands split into Min/Max-TU bounded units whose paths the rate
 // controller assigns dynamically.
+//
+// Both the composed per-pair path set and the raw hub-to-hub transit segment
+// go through the RouteCache: every client pair managed by the same
+// (hub, hub) combination shares one transit computation, which is where the
+// path-selection cost concentrates on large multi-star networks.
 func (splicerPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
-	paths, ok := n.CachedPaths(tx.Sender, tx.Recipient)
-	if !ok {
+	cfg := n.cfg
+	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: cfg.NumPaths}
+	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
 		hubS := n.managingHub(tx.Sender)
 		hubR := n.managingHub(tx.Recipient)
 		if hubS == hubR {
-			// Both endpoints are managed by the same hub: the hub computes
-			// k multi-paths directly between its clients.
-			var err error
-			paths, err = routing.SelectPaths(n.g, tx.Sender, tx.Recipient, n.cfg.NumPaths, n.cfg.PathType)
-			if err != nil {
-				return nil, nil, err
-			}
-		} else {
-			prefix, okP := n.accessPath(tx.Sender, hubS)
-			suffix, okS := n.accessPath(hubR, tx.Recipient)
-			if !okP || !okS {
-				return nil, nil, nil
-			}
-			middles, err := routing.SelectPaths(n.g, hubS, hubR, n.cfg.NumPaths, n.cfg.PathType)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, mid := range middles {
-				paths = append(paths, concatPaths(prefix, mid, suffix))
-			}
+			// Same-hub clients: the hub computes k multi-paths directly
+			// between its endpoints.
+			return routing.SelectPathsWith(n.PathFinder(), tx.Sender, tx.Recipient, cfg.NumPaths, cfg.PathType)
 		}
-		n.CachePaths(tx.Sender, tx.Recipient, paths)
+		// The hub-to-hub transit segment is shared by every client pair
+		// managed by (hubS, hubR) — including payments between the hubs
+		// themselves — so it is cached once under its own key.
+		transit := func() ([]graph.Path, error) {
+			return n.Routes().GetOrCompute(RouteKey{Src: hubS, Dst: hubR, Type: cfg.PathType, K: cfg.NumPaths}, func() ([]graph.Path, error) {
+				return routing.SelectPathsWith(n.PathFinder(), hubS, hubR, cfg.NumPaths, cfg.PathType)
+			})
+		}
+		if hubS == tx.Sender && hubR == tx.Recipient {
+			return transit()
+		}
+		prefix, okP := n.accessPath(tx.Sender, hubS)
+		suffix, okS := n.accessPath(hubR, tx.Recipient)
+		if !okP || !okS {
+			return nil, nil
+		}
+		middles, err := transit()
+		if err != nil {
+			return nil, err
+		}
+		var composed []graph.Path
+		for _, mid := range middles {
+			composed = append(composed, concatPaths(prefix, mid, suffix))
+		}
+		return composed, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	if len(paths) == 0 {
 		return nil, nil, nil

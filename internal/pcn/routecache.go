@@ -1,0 +1,106 @@
+package pcn
+
+import (
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/routing"
+)
+
+// ComposedRoutes is the RouteKey.Type for policy-composed path sets — hub
+// concatenations (Splicer access+transit+access, A2L tumbler detours) and
+// landmark routes — that do not correspond to a plain routing.PathType
+// computation. A network runs exactly one policy, so composed sets from
+// different schemes can never collide.
+const ComposedRoutes routing.PathType = 0
+
+// RouteKey identifies one route computation: a source/destination pair, the
+// path-selection strategy, and the requested path count. Distinct strategies
+// or k values for the same pair cache independently (e.g. Flash's k=3 KSP
+// mice paths never collide with another KSP query for the same pair).
+type RouteKey struct {
+	Src, Dst graph.NodeID
+	Type     routing.PathType
+	K        int
+}
+
+// RouteCache is the network-wide path cache shared by every SchemePolicy.
+// Route computation dominates the simulator's hot path (Dijkstra/Yen per
+// sender-recipient pair), so policies funnel every path set — raw SelectPaths
+// results, composed hub routes, mice paths — through this cache instead of
+// keeping ad-hoc per-policy maps.
+//
+// Invalidation contract: any mutation of the routed topology — adding
+// channels (ReshapeMultiStar), rescaling channel funds (CapitalizeHubs), or
+// any future graph surgery — must call Invalidate (policies go through
+// Network.InvalidateRoutes). Policies must re-fetch path sets through
+// Get/GetOrCompute after such a mutation rather than holding references
+// across it; the generation counter exists so long-lived holders can detect
+// staleness cheaply.
+//
+// A RouteCache belongs to one Network and is not safe for concurrent use
+// (parallel sweep workers each own a private Network and cache).
+type RouteCache struct {
+	entries map[RouteKey][]graph.Path
+	gen     uint64
+	hits    uint64
+	misses  uint64
+}
+
+// NewRouteCache returns an empty cache.
+func NewRouteCache() *RouteCache {
+	return &RouteCache{entries: map[RouteKey][]graph.Path{}}
+}
+
+// Get returns the cached path set for key. A present-but-empty entry records
+// the pair as unroutable; ok distinguishes that from a miss.
+func (c *RouteCache) Get(key RouteKey) ([]graph.Path, bool) {
+	paths, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return paths, ok
+}
+
+// Put stores a path set. Storing nil/empty records the pair as unroutable so
+// repeat payments skip the (futile) computation.
+func (c *RouteCache) Put(key RouteKey, paths []graph.Path) {
+	c.entries[key] = paths
+}
+
+// GetOrCompute returns the cached path set for key, running compute and
+// caching its result (including a nil "unroutable" result) on a miss.
+// Compute errors are returned uncached.
+func (c *RouteCache) GetOrCompute(key RouteKey, compute func() ([]graph.Path, error)) ([]graph.Path, error) {
+	if paths, ok := c.entries[key]; ok {
+		c.hits++
+		return paths, nil
+	}
+	c.misses++
+	paths, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.entries[key] = paths
+	return paths, nil
+}
+
+// Invalidate evicts every cached path set and bumps the generation. Called
+// whenever the routed topology changes.
+func (c *RouteCache) Invalidate() {
+	clear(c.entries)
+	c.gen++
+}
+
+// Len returns the number of cached path sets.
+func (c *RouteCache) Len() int { return len(c.entries) }
+
+// Generation counts invalidations; holders of path sets can compare
+// generations instead of re-fetching to detect topology changes.
+func (c *RouteCache) Generation() uint64 { return c.gen }
+
+// Hits returns the number of cache hits (Get and GetOrCompute).
+func (c *RouteCache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of cache misses.
+func (c *RouteCache) Misses() uint64 { return c.misses }

@@ -41,7 +41,7 @@ func (n *Network) accessPath(from, to graph.NodeID) (graph.Path, bool) {
 	if from == to {
 		return graph.Path{Nodes: []graph.NodeID{from}}, true
 	}
-	return n.g.ShortestPath(from, to, graph.UnitWeight)
+	return n.PathFinder().ShortestPath(from, to, graph.UnitWeight)
 }
 
 // concatPaths joins a→b, b→c, c→d walks sharing their junction nodes.
@@ -61,20 +61,6 @@ func concatPaths(parts ...graph.Path) graph.Path {
 		out.Edges = append(out.Edges, p.Edges...)
 	}
 	return out
-}
-
-// CachedPaths returns the cached path set for a sender/recipient pair.
-// Policies use the cache so repeat payments between a pair skip the path
-// computation (and so the τ-probe loop can refresh their prices).
-func (n *Network) CachedPaths(s, e graph.NodeID) ([]graph.Path, bool) {
-	paths, ok := n.pathsFor[pairKey{s, e}]
-	return paths, ok
-}
-
-// CachePaths stores a pair's path set. Caching an empty set records the pair
-// as unroutable.
-func (n *Network) CachePaths(s, e graph.NodeID, paths []graph.Path) {
-	n.pathsFor[pairKey{s, e}] = paths
 }
 
 // BalanceView snapshots the channels' current spendable balances into a

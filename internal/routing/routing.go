@@ -61,20 +61,31 @@ func PathTypeByName(name string) (PathType, error) {
 }
 
 // SelectPaths computes up to k paths from src to dst under the given
-// strategy. It may return fewer (or zero) paths on sparse graphs.
+// strategy. It may return fewer (or zero) paths on sparse graphs. Callers
+// issuing repeated queries should use SelectPathsWith with a shared
+// PathFinder.
 func SelectPaths(g *graph.Graph, src, dst graph.NodeID, k int, pt PathType) ([]graph.Path, error) {
+	return SelectPathsWith(graph.NewPathFinder(g), src, dst, k, pt)
+}
+
+// SelectPathsWith is SelectPaths running on the caller's PathFinder scratch
+// state, so repeated selections (one per sender-recipient pair on a large
+// network) reuse the Dijkstra buffers. KSP, Heuristic and EDS run entirely
+// on the finder; EDW masks extracted paths by mutating capacities, so it
+// works on a private clone of the finder's graph per call.
+func SelectPathsWith(pf *graph.PathFinder, src, dst graph.NodeID, k int, pt PathType) ([]graph.Path, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("routing: k must be positive, got %d", k)
 	}
 	switch pt {
 	case KSP:
-		return g.KShortestPaths(src, dst, k, graph.UnitWeight), nil
+		return pf.KShortestPaths(src, dst, k, graph.UnitWeight), nil
 	case Heuristic:
-		return g.HighestFundPaths(src, dst, k), nil
+		return pf.HighestFundPaths(src, dst, k), nil
 	case EDW:
-		return g.EdgeDisjointWidestPaths(src, dst, k), nil
+		return pf.Graph().EdgeDisjointWidestPaths(src, dst, k), nil
 	case EDS:
-		return g.EdgeDisjointShortestPaths(src, dst, k), nil
+		return pf.EdgeDisjointShortestPaths(src, dst, k), nil
 	default:
 		return nil, fmt.Errorf("routing: unknown path type %v", pt)
 	}

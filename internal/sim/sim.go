@@ -102,25 +102,34 @@ func (e *Engine) After(delay float64, priority int, action func()) (*Event, erro
 
 // Every schedules action at now+interval, then every interval seconds until
 // `until` (exclusive). Used for the τ-periodic probe/price updates.
+//
+// Tick i fires at exactly start + i·interval. Accumulating `next += interval`
+// instead would drift by a rounding error per tick, which over the 10⁵+
+// ticks of a long run desynchronizes the τ grid from consumers that compute
+// epoch boundaries multiplicatively (A2L's ceil(t/τ)·τ alignment).
 func (e *Engine) Every(interval, until float64, priority int, action func()) error {
 	if interval <= 0 {
 		return fmt.Errorf("sim: interval must be positive, got %v", interval)
 	}
+	start := e.now
+	i := int64(1)
 	var tick func()
-	next := e.now + interval
 	tick = func() {
 		action()
-		next += interval
-		if next < until {
+		i++
+		// float64(i)*interval is nondecreasing in i, so next >= now always
+		// holds inside the run loop.
+		if next := start + float64(i)*interval; next < until {
 			if _, err := e.Schedule(next, priority, tick); err != nil {
-				panic(err) // next >= now always holds inside the run loop
+				panic(err)
 			}
 		}
 	}
-	if next >= until {
+	first := start + interval
+	if first >= until {
 		return nil
 	}
-	_, err := e.Schedule(next, priority, tick)
+	_, err := e.Schedule(first, priority, tick)
 	return err
 }
 
@@ -128,22 +137,32 @@ func (e *Engine) Every(interval, until float64, priority int, action func()) err
 func (e *Engine) Halt() { e.halted = true }
 
 // Run executes events in time order until the queue empties, the horizon is
-// passed, or Halt is called. It returns the final virtual time.
+// passed, or Halt is called. It returns the final virtual time. Events
+// beyond the horizon stay queued, so a later Run with a larger horizon
+// resumes exactly where this one stopped and executes every scheduled event
+// in order.
 func (e *Engine) Run(horizon float64) float64 {
 	e.halted = false
 	for len(e.queue) > 0 && !e.halted {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
+		// Peek before popping: a past-horizon event must survive for the
+		// next Run rather than being popped and dropped.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
 			continue
 		}
-		if ev.Time > horizon {
-			// Past the horizon: leave time at the horizon; drop the event.
-			e.now = horizon
-			break
+		if next.Time > horizon {
+			// Advance to the horizon, but never rewind: a Run with a
+			// horizon earlier than the current time is a no-op.
+			if horizon > e.now {
+				e.now = horizon
+			}
+			return e.now
 		}
-		e.now = ev.Time
+		heap.Pop(&e.queue)
+		e.now = next.Time
 		e.nRun++
-		ev.Action()
+		next.Action()
 	}
 	if e.now < horizon && len(e.queue) == 0 {
 		e.now = horizon

@@ -234,3 +234,109 @@ func TestNestedScheduling(t *testing.T) {
 		}
 	}
 }
+
+func TestRunResumableAcrossHorizons(t *testing.T) {
+	// A Run that stops at the horizon must leave the first past-horizon
+	// event queued: the seed engine popped it, dropping one event per Run.
+	e := NewEngine()
+	var order []int
+	for _, at := range []float64{1, 2, 3} {
+		at := at
+		if _, err := e.Schedule(at, 0, func() { order = append(order, int(at)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if now := e.Run(1.5); now != 1.5 {
+		t.Fatalf("first run ended at %v, want 1.5", now)
+	}
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("after first run order = %v, want [1]", order)
+	}
+	if now := e.Run(10); now != 10 {
+		t.Fatalf("second run ended at %v, want 10", now)
+	}
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("after second run order = %v, want [1 2 3]", order)
+	}
+	if e.EventsRun() != 3 {
+		t.Fatalf("events run = %d, want 3", e.EventsRun())
+	}
+}
+
+func TestRunRepeatedSameHorizonIdempotent(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	if _, err := e.Schedule(5, 0, func() { ran++ }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2)
+	e.Run(2)
+	e.Run(2)
+	if ran != 0 {
+		t.Fatalf("event at t=5 ran %d times before its horizon", ran)
+	}
+	e.Run(6)
+	if ran != 1 {
+		t.Fatalf("event ran %d times, want 1", ran)
+	}
+}
+
+func TestRunSkipsCanceledHeadBeyondHorizonCheck(t *testing.T) {
+	// A canceled event at the head of the queue must be discarded even when
+	// it lies beyond the horizon, so it cannot shadow the horizon logic
+	// forever.
+	e := NewEngine()
+	ev, err := e.Schedule(5, 0, func() { t.Fatal("canceled event ran") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	if now := e.Run(10); now != 10 {
+		t.Fatalf("run ended at %v, want 10", now)
+	}
+}
+
+func TestEveryNoDriftOverManyTicks(t *testing.T) {
+	// Tick i must fire at exactly i*interval: the seed accumulated
+	// next += interval, whose rounding error compounds over long runs and
+	// desynchronizes the τ grid from ceil(t/τ)·τ epoch alignment.
+	e := NewEngine()
+	const interval = 0.1
+	const ticks = 100000
+	until := float64(ticks)*interval + interval/2
+	i := 0
+	err := e.Every(interval, until, 0, func() {
+		i++
+		if want := float64(i) * interval; e.Now() != want {
+			t.Fatalf("tick %d fired at %v, want exactly %v (drift %g)", i, e.Now(), want, e.Now()-want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(until + 1)
+	if i != ticks {
+		t.Fatalf("ran %d ticks, want %d", i, ticks)
+	}
+}
+
+func TestRunNeverRewindsTime(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(5, 0, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(15, 0, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if now := e.Run(10); now != 10 {
+		t.Fatalf("first run ended at %v, want 10", now)
+	}
+	// A smaller horizon must be a no-op, not a time rewind (which would let
+	// Schedule accept timestamps in the already-executed past).
+	if now := e.Run(3); now != 10 {
+		t.Fatalf("Run(3) rewound time to %v, want 10", now)
+	}
+	if _, err := e.Schedule(4, 0, func() {}); err == nil {
+		t.Fatal("Schedule accepted a timestamp in the executed past")
+	}
+}
