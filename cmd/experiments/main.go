@@ -39,7 +39,8 @@ func main() {
 	small := experiments.SmallScale()
 	large := experiments.LargeScale()
 	scale := experiments.Scale()
-	for _, scen := range []*experiments.Scenario{&small, &large, &scale} {
+	churn := experiments.Churn()
+	for _, scen := range []*experiments.Scenario{&small, &large, &scale, &churn} {
 		switch {
 		case *workers > 0:
 			scen.Workers = *workers
@@ -73,6 +74,13 @@ func main() {
 		"fig8c":    seriesTable("Fig 8(c): TSR vs update time (large)", "tau_ms", experiments.FigUpdateTime, large),
 		"fig8d":    seriesTable("Fig 8(d): normalized throughput vs update time (large)", "tau_ms", experiments.FigThroughput, large),
 		"figscale": seriesTable("Scaling: normalized throughput vs |V| (2k-10k nodes)", "nodes", experiments.FigScale, scale),
+		"figchurn": func() (experiments.Table, error) {
+			tsr, delay, err := experiments.FigChurn(churn)
+			if err != nil {
+				return experiments.Table{}, err
+			}
+			return experiments.ChurnTable("Churn: TSR and delay vs churn rate (dynamic network)", tsr, delay), nil
+		},
 		"fig9a":    seriesTable("Fig 9(a): balance cost vs omega (small)", "omega", experiments.FigBalanceCost, small),
 		"fig9b": func() (experiments.Table, error) {
 			pts, err := experiments.FigCostTradeoff(small)

@@ -1,0 +1,128 @@
+package splicer
+
+import (
+	"fmt"
+
+	"github.com/splicer-pcn/splicer/internal/dynamics"
+	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/rng"
+)
+
+// DynamicsSpec configures a dynamic-network simulation: instead of replaying
+// a pre-generated trace over a frozen topology, the network evolves — nodes
+// join and leave, channels open, close, deplete and get topped up — while a
+// diurnally modulated, hotspot-drifting demand process generates payments
+// against whatever the network looks like at each instant.
+type DynamicsSpec struct {
+	// Seed drives every stochastic component of the dynamics (timeline,
+	// demand, drift); equal seeds give byte-identical runs.
+	Seed uint64
+	// Horizon is the evolution length in seconds.
+	Horizon float64
+	// ChurnRate is the rate (events/sec) of each structural process: node
+	// joins, node leaves, channel opens, channel closes, channel top-ups.
+	// 0 keeps the topology static (demand still varies).
+	ChurnRate float64
+	// Rate is the base aggregate payment arrival rate (tx/sec).
+	Rate float64
+	// ValueScale, ZipfSkew, Timeout mirror WorkloadSpec (defaults 1 / 0.8 / 3).
+	ValueScale float64
+	ZipfSkew   float64
+	Timeout    float64
+	// ChannelScale sizes dynamically opened channels (default 1).
+	ChannelScale float64
+	// DiurnalAmplitude modulates the arrival rate sinusoidally over the
+	// horizon, in [0,1); 0 keeps the rate constant.
+	DiurnalAmplitude float64
+	// HotspotDriftInterval reshuffles which nodes are the Zipf-popular
+	// endpoints every interval; 0 keeps the popularity ranking fixed.
+	HotspotDriftInterval float64
+	// RebalanceInterval repairs the most depleted channels every interval;
+	// 0 disables depletion repair.
+	RebalanceInterval float64
+	// ReplaceInterval re-runs Splicer's hub placement online every interval,
+	// turning placement into an online algorithm (0 keeps the initial
+	// placement static). Only valid with the Splicer scheme.
+	ReplaceInterval float64
+}
+
+// config maps the spec onto the internal dynamics configuration.
+func (spec DynamicsSpec) config() (dynamics.Config, error) {
+	if spec.Horizon <= 0 {
+		return dynamics.Config{}, fmt.Errorf("splicer: Horizon must be positive")
+	}
+	cfg := dynamics.NewConfig(spec.Horizon)
+	cfg.JoinRate = spec.ChurnRate
+	cfg.LeaveRate = spec.ChurnRate
+	cfg.OpenRate = spec.ChurnRate
+	cfg.CloseRate = spec.ChurnRate
+	cfg.TopUpRate = spec.ChurnRate
+	if spec.Rate > 0 {
+		cfg.Rate = spec.Rate
+	}
+	if spec.ValueScale > 0 {
+		cfg.ValueScale = spec.ValueScale
+	}
+	if spec.ZipfSkew > 0 {
+		cfg.ZipfSkew = spec.ZipfSkew
+	}
+	if spec.Timeout > 0 {
+		cfg.Timeout = spec.Timeout
+	}
+	if spec.ChannelScale > 0 {
+		cfg.ChannelScale = spec.ChannelScale
+	}
+	// Zero uniformly means "off" for the optional processes — no hidden
+	// defaults, matching the field docs.
+	cfg.DiurnalAmplitude = spec.DiurnalAmplitude
+	cfg.HotspotDriftInterval = spec.HotspotDriftInterval
+	cfg.RebalanceInterval = spec.RebalanceInterval
+	cfg.ReplaceInterval = spec.ReplaceInterval
+	return cfg, nil
+}
+
+// DynamicSimulation is a configured dynamic-network run.
+type DynamicSimulation struct {
+	net    *pcn.Network
+	driver *dynamics.Driver
+}
+
+// NewDynamicSimulation wires a scheme over the graph and attaches the
+// dynamic-network driver. Like NewSimulation, it takes ownership of the
+// graph. Options apply to the underlying scheme configuration.
+func NewDynamicSimulation(g *Graph, scheme Scheme, spec DynamicsSpec, opts ...Option) (*DynamicSimulation, error) {
+	dynCfg, err := spec.config()
+	if err != nil {
+		return nil, err
+	}
+	cfg := pcn.NewConfig(scheme)
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	net, err := pcn.NewNetwork(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	driver, err := dynamics.NewDriver(net, rng.New(spec.Seed), dynCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicSimulation{net: net, driver: driver}, nil
+}
+
+// Run executes the dynamic simulation and returns the evaluation metrics.
+func (s *DynamicSimulation) Run() (Result, error) {
+	return s.driver.Run()
+}
+
+// Hubs returns the hub set currently in effect (it changes over time when
+// online re-placement is enabled).
+func (s *DynamicSimulation) Hubs() []NodeID { return s.net.Hubs() }
+
+// Replacements reports how many online re-placements ran and how many
+// failed (a failed re-placement keeps the previous hub set).
+func (s *DynamicSimulation) Replacements() (runs, failed int) {
+	return s.driver.ReplaceStats()
+}

@@ -1,0 +1,62 @@
+// Churn demo: a payment channel network losing and gaining nodes while
+// payments flow. Splicer's hub placement is computed once at startup — so
+// when churn kills a hub, every client it managed is orphaned and their
+// payments start failing. Re-running placement online (every second here)
+// re-homes the orphans onto surviving hubs and recovers most of the lost
+// success ratio.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	splicer "github.com/splicer-pcn/splicer"
+)
+
+func main() {
+	run := func(replaceEvery float64) splicer.Result {
+		g, err := splicer.BuildNetwork(splicer.NetworkSpec{
+			Seed: 7, Nodes: 80,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := splicer.NewDynamicSimulation(g, splicer.Splicer, splicer.DynamicsSpec{
+			Seed:    9,
+			Horizon: 8,
+			// Aggressive churn: ~2 joins, 2 leaves, 2 channel opens, 2 closes
+			// and 2 top-ups per second on an 80-node network — over the run,
+			// a sizable fraction of the network turns over.
+			ChurnRate:         2,
+			Rate:              80,
+			RebalanceInterval: 1,
+			ReplaceInterval:   replaceEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	static := run(0)
+	online := run(1)
+
+	fmt.Println("workload: 8 s of heavy churn (nodes join/leave, channels open/close) under live demand")
+	fmt.Printf("%-28s %10s %12s %12s\n", "placement", "TSR", "throughput", "delay")
+	fmt.Printf("%-28s %9.2f%% %11.2f%% %10.3f s\n",
+		"static (startup only)", 100*static.TSR, 100*static.NormalizedThroughput, static.MeanDelay)
+	fmt.Printf("%-28s %9.2f%% %11.2f%% %10.3f s\n",
+		"online (re-place every 1s)", 100*online.TSR, 100*online.NormalizedThroughput, online.MeanDelay)
+	fmt.Println()
+	if online.TSR > static.TSR {
+		fmt.Println("online re-placement re-homed the orphaned clients and recovered the success ratio.")
+	} else {
+		fmt.Println("unexpected: online re-placement did not improve on static — check parameters")
+	}
+}

@@ -141,6 +141,7 @@ type Channel struct {
 	QueueLimit float64
 
 	processed [2]float64 // value forwarded this window, for rate limiting
+	closed    bool
 }
 
 // New creates a channel with the given initial per-direction balances.
@@ -178,12 +179,57 @@ func (c *Channel) Capacity() float64 {
 	return c.dirs[0].balance + c.dirs[1].balance + c.dirs[0].locked + c.dirs[1].locked
 }
 
+// Close marks the channel closed (the on-chain closing transaction is
+// broadcast): no new forwards can be locked, but already-locked HTLCs remain
+// settleable/refundable — exactly the guarantee the HTLC contract enforces
+// on-chain. Idempotent.
+func (c *Channel) Close() { c.closed = true }
+
+// Closed reports whether the channel has been closed.
+func (c *Channel) Closed() bool { return c.closed }
+
+// Deposit adds spendable funds to direction d (a top-up / splice-in). It
+// fails on closed channels and negative amounts.
+func (c *Channel) Deposit(d Direction, v float64) error {
+	if c.closed {
+		return fmt.Errorf("channel: deposit on closed channel %d", c.Edge)
+	}
+	if v < 0 {
+		return fmt.Errorf("channel: negative deposit %v", v)
+	}
+	c.dirs[d].balance += v
+	return nil
+}
+
+// Rebalance moves `fraction` of the spendable-balance gap from the richer
+// side to the poorer side (an off-chain circular rebalancing / submarine
+// swap, abstracted to its effect). It returns the amount moved; 0 when the
+// channel is closed, balanced, or fraction is not in (0, 1].
+func (c *Channel) Rebalance(fraction float64) float64 {
+	if c.closed || fraction <= 0 || fraction > 1 {
+		return 0
+	}
+	gap := c.dirs[Fwd].balance - c.dirs[Rev].balance
+	rich, poor := Fwd, Rev
+	if gap < 0 {
+		gap, rich, poor = -gap, Rev, Fwd
+	}
+	// Move toward equality: half the gap closes it completely.
+	moved := fraction * gap / 2
+	c.dirs[rich].balance -= moved
+	c.dirs[poor].balance += moved
+	return moved
+}
+
 // CanForward reports whether value v can currently be locked in direction d
 // under both the balance and the processing-rate constraint. It applies the
 // same 1e-9 tolerance as Lock (and Settle/Refund), so a TU whose value
 // drifted a few ulps above the balance is forwarded rather than stalling in
-// the queue until its deadline.
+// the queue until its deadline. Closed channels never forward.
 func (c *Channel) CanForward(d Direction, v float64) bool {
+	if c.closed {
+		return false
+	}
 	if c.dirs[d].balance < v-1e-9 {
 		return false
 	}
@@ -203,6 +249,9 @@ func (c *Channel) CanForward(d Direction, v float64) bool {
 // callers must not be able to exceed the per-window rate limit by skipping
 // it.
 func (c *Channel) Lock(d Direction, v float64) error {
+	if c.closed {
+		return fmt.Errorf("channel: lock on closed channel %d", c.Edge)
+	}
 	if v <= 0 {
 		return fmt.Errorf("channel: lock value must be positive, got %v", v)
 	}
@@ -319,8 +368,11 @@ func (c *Channel) QueueValue(d Direction) float64 {
 }
 
 // Enqueue adds a TU to the waiting queue for direction d. It fails when the
-// queue value limit would be exceeded.
+// queue value limit would be exceeded or the channel is closed.
 func (c *Channel) Enqueue(d Direction, tu *QueuedTU) error {
+	if c.closed {
+		return fmt.Errorf("channel: enqueue on closed channel %d", c.Edge)
+	}
 	if tu == nil || tu.Value <= 0 {
 		return fmt.Errorf("channel: invalid TU")
 	}
@@ -359,6 +411,14 @@ func (c *Channel) MarkStale(d Direction, now, threshold float64) []*QueuedTU {
 		}
 	}
 	return marked
+}
+
+// Queued returns a snapshot of direction d's waiting queue in queue order.
+// Callers use it to unwind queued TUs when a channel closes; the returned
+// slice is a copy, safe against concurrent RemoveQueued calls during
+// iteration.
+func (c *Channel) Queued(d Direction) []*QueuedTU {
+	return append([]*QueuedTU(nil), c.dirs[d].queue...)
 }
 
 // RemoveQueued removes a specific TU (by pointer) from direction d's queue.

@@ -1,0 +1,126 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCloseBlocksNewForwards(t *testing.T) {
+	c := newChan(t, 100, 100)
+	if err := c.Lock(Fwd, 30); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if !c.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if c.CanForward(Fwd, 1) || c.CanForward(Rev, 1) {
+		t.Fatal("closed channel still forwards")
+	}
+	if err := c.Lock(Fwd, 1); err == nil {
+		t.Fatal("Lock succeeded on closed channel")
+	}
+	if err := c.Enqueue(Fwd, &QueuedTU{ID: 1, Value: 5}); err == nil {
+		t.Fatal("Enqueue succeeded on closed channel")
+	}
+	if err := c.Deposit(Fwd, 10); err == nil {
+		t.Fatal("Deposit succeeded on closed channel")
+	}
+	if c.Rebalance(1) != 0 {
+		t.Fatal("Rebalance moved funds on closed channel")
+	}
+	// In-flight HTLCs remain settleable: on-chain enforceable.
+	if err := c.Settle(Fwd, 30); err != nil {
+		t.Fatalf("settle of pre-close lock failed: %v", err)
+	}
+	if c.Balance(Rev) != 130 {
+		t.Fatalf("Rev balance = %v, want 130", c.Balance(Rev))
+	}
+	c.Close() // idempotent
+}
+
+func TestCloseAllowsRefund(t *testing.T) {
+	c := newChan(t, 50, 0)
+	if err := c.Lock(Fwd, 20); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Refund(Fwd, 20); err != nil {
+		t.Fatalf("refund of pre-close lock failed: %v", err)
+	}
+	if c.Balance(Fwd) != 50 {
+		t.Fatalf("Fwd balance = %v, want 50", c.Balance(Fwd))
+	}
+}
+
+func TestDeposit(t *testing.T) {
+	c := newChan(t, 10, 20)
+	if err := c.Deposit(Fwd, 5); err != nil {
+		t.Fatal(err)
+	}
+	if c.Balance(Fwd) != 15 {
+		t.Fatalf("Fwd balance = %v, want 15", c.Balance(Fwd))
+	}
+	if err := c.Deposit(Rev, -1); err == nil {
+		t.Fatal("negative deposit succeeded")
+	}
+	if c.Capacity() != 35 {
+		t.Fatalf("capacity = %v, want 35", c.Capacity())
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	c := newChan(t, 80, 20)
+	moved := c.Rebalance(1) // full rebalance: both sides at 50
+	if moved != 30 {
+		t.Fatalf("moved = %v, want 30", moved)
+	}
+	if c.Balance(Fwd) != 50 || c.Balance(Rev) != 50 {
+		t.Fatalf("balances = %v/%v, want 50/50", c.Balance(Fwd), c.Balance(Rev))
+	}
+	if c.Imbalance() != 0 {
+		t.Fatalf("imbalance = %v, want 0", c.Imbalance())
+	}
+	// Partial rebalance from the Rev-rich side.
+	c2 := newChan(t, 0, 40)
+	if moved := c2.Rebalance(0.5); moved != 10 {
+		t.Fatalf("moved = %v, want 10", moved)
+	}
+	if c2.Balance(Fwd) != 10 || c2.Balance(Rev) != 30 {
+		t.Fatalf("balances = %v/%v, want 10/30", c2.Balance(Fwd), c2.Balance(Rev))
+	}
+	// Funds are conserved.
+	if got := c2.Capacity(); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("capacity drifted to %v", got)
+	}
+	// Out-of-range fractions are no-ops.
+	if c2.Rebalance(0) != 0 || c2.Rebalance(1.5) != 0 {
+		t.Fatal("invalid fraction moved funds")
+	}
+}
+
+func TestQueuedSnapshot(t *testing.T) {
+	c := newChan(t, 0, 0) // no funds: everything queues
+	a := &QueuedTU{ID: 1, Value: 2}
+	b := &QueuedTU{ID: 2, Value: 3}
+	if err := c.Enqueue(Fwd, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(Fwd, b); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Queued(Fwd)
+	if len(snap) != 2 || snap[0] != a || snap[1] != b {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Mutating the queue does not invalidate the snapshot slice.
+	if !c.RemoveQueued(Fwd, a) {
+		t.Fatal("RemoveQueued failed")
+	}
+	if len(snap) != 2 {
+		t.Fatal("snapshot aliased the live queue")
+	}
+	if c.QueueLen(Fwd) != 1 {
+		t.Fatalf("queue len = %d, want 1", c.QueueLen(Fwd))
+	}
+}

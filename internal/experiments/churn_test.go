@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// tinyChurn shrinks the churn scenario for CI-fast tests.
+func tinyChurn() Scenario {
+	s := Churn()
+	s.Nodes = 50
+	s.Rate = 40
+	s.Duration = 3
+	s.HubCandidates = 6
+	return s
+}
+
+// withSmallChurnGrid shrinks the sweep grid for a test and restores it.
+func withSmallChurnGrid(t *testing.T, xs []float64) {
+	t.Helper()
+	old := ChurnRateSweep
+	ChurnRateSweep = xs
+	t.Cleanup(func() { ChurnRateSweep = old })
+}
+
+func TestFigChurn(t *testing.T) {
+	withSmallChurnGrid(t, []float64{0, 2})
+	tsr, delay, err := FigChurn(tinyChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeries := len(ChurnSchemes) + 1 // six schemes + Splicer(online)
+	if len(tsr) != wantSeries || len(delay) != wantSeries {
+		t.Fatalf("series = %d/%d, want %d", len(tsr), len(delay), wantSeries)
+	}
+	for _, s := range tsr {
+		if len(s.Points) != len(ChurnRateSweep) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.Points), len(ChurnRateSweep))
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Fatalf("series %q TSR %v out of range at x=%v", s.Name, p.Y, p.X)
+			}
+		}
+	}
+	if tsr[len(tsr)-1].Name != ChurnOnlineLabel {
+		t.Fatalf("last series = %q, want %q", tsr[len(tsr)-1].Name, ChurnOnlineLabel)
+	}
+	table := ChurnTable("churn", tsr, delay)
+	if len(table.Rows) != len(ChurnRateSweep) || len(table.Header) != 1+2*wantSeries {
+		t.Fatalf("table shape %dx%d", len(table.Rows), len(table.Header))
+	}
+}
+
+// TestFigChurnWorkerInvariance is the dynamics determinism satellite:
+// identical seeds must give byte-identical series whether the dynamic cells
+// run on 1 worker or 8.
+func TestFigChurnWorkerInvariance(t *testing.T) {
+	withSmallChurnGrid(t, []float64{2})
+	base := tinyChurn()
+	base.Duration = 2
+	base.Seeds = []uint64{4, 5}
+
+	run := func(workers int) string {
+		s := base
+		s.Workers = workers
+		tsr, delay, err := FigChurn(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v %+v", tsr, delay)
+	}
+	serial := run(1)
+	if parallel := run(8); parallel != serial {
+		t.Fatalf("8-worker churn sweep diverged from serial:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}

@@ -60,9 +60,17 @@ func (e Edge) Other(from NodeID) NodeID {
 
 // Graph is an undirected multigraph with per-direction edge capacities.
 // The zero value is an empty graph ready to use.
+//
+// The graph is mutable: nodes can be appended (AddNode) and edges added
+// (AddEdge) or removed (RemoveEdge) at any time, which the dynamic-network
+// layer uses to model channel opens/closes and node churn. Edge IDs are
+// never reused: a removed edge leaves a tombstone slot so that EdgeID-indexed
+// side tables (the PCN's channel array) stay aligned across removals.
 type Graph struct {
-	edges []Edge
-	adj   [][]EdgeID // node -> incident edge ids
+	edges   []Edge
+	adj     [][]EdgeID // node -> incident edge ids (live edges only)
+	removed []bool     // edge id -> tombstoned by RemoveEdge
+	numLive int
 }
 
 // New returns a graph with n isolated nodes.
@@ -73,8 +81,13 @@ func New(n int) *Graph {
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.adj) }
 
-// NumEdges returns the number of undirected edges.
+// NumEdges returns the number of edge slots ever allocated, including
+// removed-edge tombstones; valid EdgeIDs are [0, NumEdges). Use NumLiveEdges
+// for the count of edges currently in the topology.
 func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumLiveEdges returns the number of edges not removed.
+func (g *Graph) NumLiveEdges() int { return g.numLive }
 
 // AddNode appends a new isolated node and returns its ID.
 func (g *Graph) AddNode() NodeID {
@@ -93,9 +106,47 @@ func (g *Graph) AddEdge(u, v NodeID, capFwd, capRev float64) (EdgeID, error) {
 	}
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, CapFwd: capFwd, CapRev: capRev})
+	g.removed = append(g.removed, false)
 	g.adj[u] = append(g.adj[u], id)
 	g.adj[v] = append(g.adj[v], id)
+	g.numLive++
 	return id, nil
+}
+
+// RemoveEdge removes an edge (a channel close) from the topology. The edge's
+// ID slot is tombstoned, not reused: Edge(id) keeps reporting the endpoints
+// (so in-flight bookkeeping can still resolve them) but the edge disappears
+// from adjacency, Path.Valid and the traversal algorithms. Removing an edge
+// twice is an error.
+func (g *Graph) RemoveEdge(id EdgeID) error {
+	if int(id) < 0 || int(id) >= len(g.edges) {
+		return fmt.Errorf("graph: remove of unknown edge %d", id)
+	}
+	if g.removed[id] {
+		return fmt.Errorf("graph: edge %d already removed", id)
+	}
+	e := g.edges[id]
+	g.adj[e.U] = dropEdgeID(g.adj[e.U], id)
+	g.adj[e.V] = dropEdgeID(g.adj[e.V], id)
+	g.removed[id] = true
+	g.numLive--
+	return nil
+}
+
+// dropEdgeID removes one occurrence of id, preserving order (adjacency order
+// is traversal order, which determinism tests depend on).
+func dropEdgeID(ids []EdgeID, id EdgeID) []EdgeID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// EdgeRemoved reports whether an edge slot has been tombstoned.
+func (g *Graph) EdgeRemoved(id EdgeID) bool {
+	return int(id) >= 0 && int(id) < len(g.removed) && g.removed[id]
 }
 
 // Edge returns the edge with the given ID.
@@ -134,18 +185,25 @@ func (g *Graph) EdgeBetween(u, v NodeID) (Edge, bool) {
 	return Edge{}, false
 }
 
-// Edges returns a copy of all edges.
+// Edges returns a copy of all live (non-removed) edges.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, len(g.edges))
-	copy(out, g.edges)
+	out := make([]Edge, 0, g.numLive)
+	for i, e := range g.edges {
+		if !g.removed[i] {
+			out = append(out, e)
+		}
+	}
 	return out
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph, including removed-edge tombstones
+// (edge IDs stay aligned between a graph and its clone).
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		edges: make([]Edge, len(g.edges)),
-		adj:   make([][]EdgeID, len(g.adj)),
+		edges:   make([]Edge, len(g.edges)),
+		adj:     make([][]EdgeID, len(g.adj)),
+		removed: append([]bool(nil), g.removed...),
+		numLive: g.numLive,
 	}
 	copy(c.edges, g.edges)
 	for i, a := range g.adj {
@@ -172,7 +230,7 @@ func (p Path) Valid(g *Graph) bool {
 		return false
 	}
 	for i, eid := range p.Edges {
-		if int(eid) < 0 || int(eid) >= g.NumEdges() {
+		if int(eid) < 0 || int(eid) >= g.NumEdges() || g.EdgeRemoved(eid) {
 			return false
 		}
 		e := g.Edge(eid)

@@ -37,7 +37,10 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (float64, []FlowPath) {
 		arcs[u] = append(arcs[u], mfArc{to: v, cap: c, orig: c, rev: len(arcs[v]), edge: eid})
 		arcs[v] = append(arcs[v], mfArc{to: u, cap: 0, orig: 0, rev: len(arcs[u]) - 1, edge: eid})
 	}
-	for _, e := range g.edges {
+	for i, e := range g.edges {
+		if g.removed[i] {
+			continue // tombstones keep their capacities; flow must not use them
+		}
 		if e.CapFwd > 0 {
 			addArc(e.U, e.V, e.CapFwd, e.ID)
 		}

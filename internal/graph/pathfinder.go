@@ -42,20 +42,28 @@ func NewPathFinder(g *Graph) *PathFinder {
 // Graph returns the graph this finder is bound to.
 func (pf *PathFinder) Graph() *Graph { return pf.g }
 
-// ensure sizes the scratch arrays to the graph's current node count.
+// ensure sizes the scratch arrays to the graph's current node count. Growth
+// copies the existing per-node state into the larger arrays (new nodes start
+// unseen/unbanned), so a long-lived finder survives node arrivals mid-use:
+// the query stamp, and any bannedNode marks held by an in-flight Yen search,
+// stay valid. Growing over-allocates by 2x so a stream of single-node
+// arrivals (dynamic churn) doesn't reallocate per join.
 func (pf *PathFinder) ensure() {
 	n := pf.g.NumNodes()
 	if len(pf.dist) >= n {
 		return
 	}
-	pf.dist = make([]float64, n)
-	pf.hops = make([]int, n)
-	pf.prevEdge = make([]EdgeID, n)
-	pf.prevNode = make([]NodeID, n)
-	pf.seen = make([]uint32, n)
-	pf.done = make([]uint32, n)
-	pf.bannedNode = make([]bool, n)
-	pf.query = 0
+	size := n
+	if size < 2*len(pf.dist) {
+		size = 2 * len(pf.dist)
+	}
+	pf.dist = append(make([]float64, 0, size), pf.dist...)[:size]
+	pf.hops = append(make([]int, 0, size), pf.hops...)[:size]
+	pf.prevEdge = append(make([]EdgeID, 0, size), pf.prevEdge...)[:size]
+	pf.prevNode = append(make([]NodeID, 0, size), pf.prevNode...)[:size]
+	pf.seen = append(make([]uint32, 0, size), pf.seen...)[:size]
+	pf.done = append(make([]uint32, 0, size), pf.done...)[:size]
+	pf.bannedNode = append(make([]bool, 0, size), pf.bannedNode...)[:size]
 }
 
 // begin starts a new query: bumping the stamp invalidates every per-node

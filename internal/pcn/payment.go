@@ -20,6 +20,12 @@ type txRun struct {
 	failed    bool
 	finished  bool
 	deadline  *sim.Event
+	// rc is the rate controller this payment was dispatched under. It is
+	// held by instance, not looked up by pair: a topology mutation can
+	// re-plan the pair with a different path count, which swaps the pair's
+	// controller — in-flight TUs must keep resolving against the controller
+	// whose windows they occupy.
+	rc *routing.RateController
 	// pending holds TUs waiting for window room (rate-controlled schemes).
 	pending []*tuRun
 	// live TUs for deadline unwinding.
@@ -91,14 +97,22 @@ func (n *Network) dispatch(tx workload.Tx) {
 		// Register the planned path set for the τ-probe loop, which
 		// refreshes path prices and rates per pair each tick.
 		n.pathsFor[run.pair] = paths
-		if _, ok := n.rateCtl[run.pair]; !ok {
-			rc, rcErr := routing.NewRateController(len(paths), n.cfg.Alpha, n.cfg.Beta, n.cfg.Gamma, n.cfg.InitPathRate, n.cfg.InitWindow)
+		rc, ok := n.rateCtl[run.pair]
+		if !ok || rc.NumPaths() != len(paths) {
+			// First payment for the pair, or the pair was re-planned with a
+			// different path count after a topology mutation: the old
+			// controller's per-path state no longer maps onto the path set,
+			// so it restarts from the initial rates. Payments in flight keep
+			// their own controller reference.
+			var rcErr error
+			rc, rcErr = routing.NewRateController(len(paths), n.cfg.Alpha, n.cfg.Beta, n.cfg.Gamma, n.cfg.InitPathRate, n.cfg.InitWindow)
 			if rcErr != nil {
 				n.failTx(run, "controller")
 				return
 			}
 			n.rateCtl[run.pair] = rc
 		}
+		run.rc = rc
 	}
 
 	run.remaining = len(allocs)
@@ -134,7 +148,7 @@ func (n *Network) drainPending(run *txRun) {
 	if run.failed {
 		return
 	}
-	rc := n.rateCtl[run.pair]
+	rc := run.rc
 	if rc == nil {
 		return
 	}
@@ -177,6 +191,12 @@ func (n *Network) advanceTU(tu *tuRun) {
 	eid := tu.path.Edges[tu.hop]
 	from := tu.path.Nodes[tu.hop]
 	ch := n.chans[eid]
+	if ch.Closed() {
+		// The channel closed after this TU's path was planned (the route
+		// cache was invalidated, but in-flight TUs keep their path).
+		n.abortTU(tu, "channel_closed")
+		return
+	}
 	dir := ch.DirFrom(from)
 	ch.AddRequired(dir, tu.value)
 	if ch.CanForward(dir, tu.value) {
@@ -313,7 +333,7 @@ func (n *Network) abortLockedHops(tu *tuRun, through int) {
 // resolveTU updates rate control and the parent payment.
 func (n *Network) resolveTU(tu *tuRun, ok bool, reason string) {
 	run := tu.tx
-	if rc := n.rateCtl[run.pair]; rc != nil && tu.path.Len() > 0 {
+	if rc := run.rc; rc != nil && tu.path.Len() > 0 {
 		if ok {
 			rc.OnSuccess(tu.pathIdx)
 		} else {
@@ -428,6 +448,9 @@ func (n *Network) onTauTick() {
 	now := n.engine.Now()
 	n.policy.OnTick(n)
 	for _, ch := range n.chans {
+		if ch.Closed() {
+			continue // queues already unwound at close; no prices to update
+		}
 		if n.usesPrices() {
 			ch.UpdatePrices(n.cfg.Kappa, n.cfg.Eta)
 		} else {
@@ -459,12 +482,14 @@ func (n *Network) onTauTick() {
 			}
 			return pairs[i].e < pairs[j].e
 		})
-		for _, pair := range pairs {
-			rc := n.rateCtl[pair]
-			paths := n.pathsFor[pair]
-			if len(paths) == 0 {
-				continue
+		// Each controller is refreshed at most once per tick (RefillBudget
+		// grants rate·τ tokens; a double refresh would double the budget).
+		refreshed := map[*routing.RateController]bool{}
+		refresh := func(rc *routing.RateController, paths []graph.Path) {
+			if rc == nil || refreshed[rc] || len(paths) == 0 {
+				return
 			}
+			refreshed[rc] = true
 			for i := 0; i < rc.NumPaths() && i < len(paths); i++ {
 				price := routing.PathPrice(paths[i], n.cfg.TFee, func(e graph.EdgeID, from graph.NodeID) float64 {
 					return n.chans[e].Price(n.chans[e].DirFrom(from))
@@ -473,11 +498,22 @@ func (n *Network) onTauTick() {
 				rc.RefillBudget(i, n.cfg.UpdateTau)
 			}
 		}
+		for _, pair := range pairs {
+			refresh(n.rateCtl[pair], n.pathsFor[pair])
+		}
 		ids := make([]int, 0, len(n.txState))
 		for id := range n.txState {
 			ids = append(ids, id)
 		}
 		sort.Ints(ids)
+		// In-flight payments whose controller was superseded by a re-plan
+		// (topology mutation changed the pair's path count) keep receiving
+		// refills against their own planned path set; otherwise their
+		// pending TUs would starve on an empty budget until the deadline.
+		for _, id := range ids {
+			run := n.txState[id]
+			refresh(run.rc, run.paths)
+		}
 		for _, id := range ids {
 			n.drainPending(n.txState[id])
 		}

@@ -202,6 +202,11 @@ type Network struct {
 	hubs  []graph.NodeID
 	isHub map[graph.NodeID]bool
 	hubOf map[graph.NodeID]graph.NodeID // client → managing hub (Splicer/A2L)
+	// departed marks nodes that left the network (dynamics); boosted records
+	// channels that already received the hub capital pledge so repeated
+	// placements never double-boost.
+	departed map[graph.NodeID]bool
+	boosted  map[graph.EdgeID]bool
 	// routes is the shared route-computation cache (see RouteCache for the
 	// invalidation contract); pathFinder is the shared Dijkstra scratch
 	// state for cache misses (a Network is single-goroutine, so one finder
@@ -221,6 +226,12 @@ type Network struct {
 
 	txState     map[int]*txRun
 	queuedIndex map[*channel.QueuedTU]*tuRun
+
+	// Run bookkeeping: payments registered via ScheduleArrival/Arrive, so a
+	// dynamically driven run (no upfront trace) summarizes correctly.
+	genCount int
+	genValue float64
+	ticking  bool
 }
 
 // NewNetwork builds a simulation over graph g under cfg. The graph's edge
@@ -250,6 +261,8 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 		metrics:     sim.NewMetrics(),
 		isHub:       map[graph.NodeID]bool{},
 		hubOf:       map[graph.NodeID]graph.NodeID{},
+		departed:    map[graph.NodeID]bool{},
+		boosted:     map[graph.EdgeID]bool{},
 		routes:      NewRouteCache(),
 		pathsFor:    map[pairKey][]graph.Path{},
 		rateCtl:     map[pairKey]*routing.RateController{},
@@ -289,15 +302,16 @@ func (n *Network) SetManagingHub(client, hub graph.NodeID) {
 // payment preparation each client opens a direct payment channel with its
 // managing hub (§III-A), funded with the client's typical channel size. The
 // original graph remains as the hub-to-hub transit backbone. NewNetwork
-// owns the graph, so adding edges here is safe.
+// owns the graph, so adding edges here is safe. Safe to call again mid-run
+// after a re-placement: only the missing client-hub channels open.
 func (n *Network) ReshapeMultiStar() {
 	for v := 0; v < n.g.NumNodes(); v++ {
 		client := graph.NodeID(v)
-		if n.isHub[client] {
+		if n.isHub[client] || n.departed[client] {
 			continue
 		}
 		hub, ok := n.hubOf[client]
-		if !ok || n.g.HasEdgeBetween(client, hub) {
+		if !ok || n.departed[hub] || n.g.HasEdgeBetween(client, hub) {
 			continue
 		}
 		// Fund the client side with its mean existing per-direction
@@ -331,29 +345,28 @@ func (n *Network) ReshapeMultiStar() {
 
 // CapitalizeHubs scales the funds of hub-incident channels by
 // HubCapitalBoost: taking the hub role comes with pledging capital into the
-// hub's channels (SchemePolicy.Setup).
+// hub's channels (SchemePolicy.Setup). The boost is applied as a deposit of
+// (boost−1)× the current spendable balance per side — identical to the
+// former recreate-with-boosted-balances at setup time (nothing is locked or
+// queued yet), and additionally safe mid-run for online re-placement. Each
+// channel is boosted at most once over the network's lifetime: the capital
+// pledge stays with the channel even if its hub is later demoted.
 func (n *Network) CapitalizeHubs() {
 	if n.cfg.HubCapitalBoost <= 1 {
 		return
 	}
-	boosted := map[graph.EdgeID]bool{}
 	for _, h := range n.hubs {
 		for _, eid := range n.g.Incident(h) {
-			if boosted[eid] {
+			if n.boosted[eid] {
 				continue
 			}
-			boosted[eid] = true
+			n.boosted[eid] = true
 			ch := n.chans[eid]
-			// Recreate the channel with boosted balances; no payments have
-			// run yet at setup time.
-			nc, err := channel.New(ch.Edge, ch.U, ch.V,
-				ch.Balance(channel.Fwd)*n.cfg.HubCapitalBoost,
-				ch.Balance(channel.Rev)*n.cfg.HubCapitalBoost)
-			if err != nil {
-				panic(err) // balances are non-negative by construction
+			for _, d := range []channel.Direction{channel.Fwd, channel.Rev} {
+				if err := ch.Deposit(d, ch.Balance(d)*(n.cfg.HubCapitalBoost-1)); err != nil {
+					panic(err) // channel is open and the amount non-negative
+				}
 			}
-			nc.QueueLimit = n.cfg.QueueLimit
-			n.chans[eid] = nc
 		}
 	}
 	// Defensive eviction: path selection reads the graph's static edge
@@ -367,23 +380,58 @@ func (n *Network) CapitalizeHubs() {
 // placeHubs runs the placement pipeline: candidate list by excellence
 // (degree), then the double-greedy approximation (the exact MILP is
 // exercised by tests and cmd/placement on small instances).
+//
+// Under dynamics the pipeline is re-run mid-simulation, so it restricts
+// itself to the nodes that can actually be placed over: departed nodes are
+// excluded, and so are nodes outside the largest connected component of the
+// active graph (churn can fragment it, and the placement cost matrices
+// require every client to be reachable from every candidate; the largest
+// component — not, say, a well-connected splinter around a former hub — is
+// where placement helps the most nodes). Ties break toward the component
+// holding the lowest node id. On a fresh connected network this reduces to
+// the whole node set.
 func (n *Network) placeHubs() ([]graph.NodeID, error) {
+	visited := make([]bool, n.g.NumNodes())
+	var eligible []graph.NodeID
+	for v := 0; v < n.g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if n.departed[id] || visited[id] {
+			continue
+		}
+		dist := n.g.BFSHops(id)
+		var comp []graph.NodeID
+		for u, d := range dist {
+			uid := graph.NodeID(u)
+			if d >= 0 && !n.departed[uid] {
+				visited[u] = true
+				comp = append(comp, uid)
+			}
+		}
+		if len(comp) > len(eligible) {
+			eligible = comp
+		}
+	}
+	if len(eligible) == 0 {
+		return nil, fmt.Errorf("pcn: no active nodes to place hubs over")
+	}
 	numCand := n.cfg.NumHubCandidates
-	if numCand > n.g.NumNodes()/2 {
-		numCand = n.g.NumNodes() / 2
+	if numCand > len(eligible)/2 {
+		numCand = len(eligible) / 2
 	}
 	if numCand < 1 {
 		numCand = 1
 	}
-	cands := topology.TopDegreeNodes(n.g, numCand)
+	// TopDegreeNodesOf reorders its argument; keep the ascending client order
+	// (matching the static pipeline) by selecting over a copy.
+	cands := topology.TopDegreeNodesOf(n.g, append([]graph.NodeID(nil), eligible...), numCand)
 	candSet := map[graph.NodeID]bool{}
 	for _, c := range cands {
 		candSet[c] = true
 	}
 	var clients []graph.NodeID
-	for i := 0; i < n.g.NumNodes(); i++ {
-		if !candSet[graph.NodeID(i)] {
-			clients = append(clients, graph.NodeID(i))
+	for _, id := range eligible {
+		if !candSet[id] {
+			clients = append(clients, id)
 		}
 	}
 	inst, err := placement.NewInstanceFromGraph(n.g, clients, cands, n.cfg.PlacementOmega)
@@ -428,9 +476,10 @@ func (n *Network) assignClients() {
 	}
 	for v := 0; v < n.g.NumNodes(); v++ {
 		node := graph.NodeID(v)
-		if n.isHub[node] {
+		if n.isHub[node] || n.departed[node] {
 			continue
 		}
+		assigned := false
 		best, bestCost := 0, 0.0
 		for i := range n.hubs {
 			h := hopsFrom[i][node]
@@ -438,11 +487,13 @@ func (n *Network) assignClients() {
 				continue
 			}
 			c := n.cfg.PlacementOmega*burden[i] + placement.DefaultMgmtPerHop*float64(h)
-			if i == 0 || c < bestCost {
-				best, bestCost = i, c
+			if !assigned || c < bestCost {
+				best, bestCost, assigned = i, c, true
 			}
 		}
-		n.hubOf[node] = n.hubs[best]
+		if assigned {
+			n.hubOf[node] = n.hubs[best]
+		}
 	}
 }
 
@@ -519,35 +570,92 @@ type Result struct {
 
 // Run executes the trace and returns the summary. The horizon extends past
 // the last arrival by the transaction timeout so in-flight payments can
-// finish.
+// finish. It is a convenience composition of the stepwise run API below,
+// which the dynamics layer drives directly to interleave topology events
+// with payment arrivals.
 func (n *Network) Run(trace []workload.Tx) (Result, error) {
 	if len(trace) == 0 {
 		return Result{}, fmt.Errorf("pcn: empty trace")
 	}
 	horizon := trace[len(trace)-1].Deadline + 1
-	// Periodic price updates + queue maintenance (Splicer; Spider uses
-	// windows only but still needs queue staleness marking; Flash asks for
-	// ticks to refresh its stale balance snapshot).
-	if n.usesQueues() || n.usesPrices() || n.policy.WantsTick() {
-		if err := n.engine.Every(n.cfg.UpdateTau, horizon, 0, n.onTauTick); err != nil {
-			return Result{}, err
-		}
+	if err := n.BeginRun(horizon); err != nil {
+		return Result{}, err
 	}
 	for i := range trace {
-		tx := trace[i]
-		if _, err := n.engine.Schedule(tx.Arrival, 1, func() { n.onArrival(tx) }); err != nil {
+		if err := n.ScheduleArrival(trace[i]); err != nil {
 			return Result{}, err
 		}
 	}
+	return n.Execute(horizon)
+}
+
+// BeginRun installs the τ-periodic maintenance (price updates + queue
+// staleness marking for Splicer/Spider, gossip snapshot refresh ticks for
+// Flash) up to the horizon. Callers composing a dynamic run invoke it once
+// before scheduling arrivals or external events.
+func (n *Network) BeginRun(horizon float64) error {
+	if n.ticking {
+		return fmt.Errorf("pcn: BeginRun called twice")
+	}
+	n.ticking = true
+	if n.usesQueues() || n.usesPrices() || n.policy.WantsTick() {
+		return n.engine.Every(n.cfg.UpdateTau, horizon, 0, n.onTauTick)
+	}
+	return nil
+}
+
+// ScheduleArrival registers a payment to arrive at tx.Arrival. The payment
+// counts toward the run's Generated totals immediately.
+func (n *Network) ScheduleArrival(tx workload.Tx) error {
+	n.genCount++
+	n.genValue += tx.Value
+	_, err := n.engine.Schedule(tx.Arrival, 1, func() { n.onArrival(tx) })
+	return err
+}
+
+// Arrive delivers a payment at the current simulation time. The dynamics
+// layer uses it to resolve a payment's endpoints against the live node set
+// at the moment of arrival rather than at trace-generation time.
+func (n *Network) Arrive(tx workload.Tx) {
+	n.genCount++
+	n.genValue += tx.Value
+	n.onArrival(tx)
+}
+
+// At schedules an external event (a topology mutation, a demand-process
+// step) at absolute time t. External events run before same-instant payment
+// arrivals and maintenance ticks, so a payment arriving exactly when a
+// channel closes sees the post-close topology.
+func (n *Network) At(t float64, action func()) error {
+	_, err := n.engine.Schedule(t, -1, action)
+	return err
+}
+
+// Every schedules action at now+interval and then every interval until
+// `until` (exclusive), at the same external-event priority as At. The
+// dynamics driver uses it for its periodic processes (depletion repair,
+// hotspot drift, online re-placement); tick times are drift-free like the
+// engine's τ loop.
+func (n *Network) Every(interval, until float64, action func()) error {
+	return n.engine.Every(interval, until, -1, action)
+}
+
+// Execute runs the event loop to the horizon and summarizes. Payments whose
+// dispatch was pushed past the horizon by compute backlog never produced an
+// outcome event; they are failures.
+func (n *Network) Execute(horizon float64) (Result, error) {
 	n.engine.Run(horizon)
-	// Payments whose dispatch was pushed past the horizon by compute
-	// backlog never produced an outcome event; they are failures.
-	unresolved := float64(len(trace)) - n.metrics.Counter("tx_completed") - n.metrics.Counter("tx_failed")
+	// Dynamically driven runs deliver payments via Arrive during the run, so
+	// emptiness is only checkable afterwards.
+	if n.genCount == 0 {
+		return Result{}, fmt.Errorf("pcn: run generated no payments")
+	}
+	unresolved := float64(n.genCount) - n.metrics.Counter("tx_completed") - n.metrics.Counter("tx_failed")
 	if unresolved > 0 {
 		n.metrics.Add("tx_failed", unresolved)
 		n.metrics.Add("tx_failed_compute_backlog", unresolved)
 	}
-	return n.summarize(trace), nil
+	return n.summarize(), nil
 }
 
 func (n *Network) usesQueues() bool { return n.policy.UsesQueues() }
@@ -556,10 +664,11 @@ func (n *Network) usesPrices() bool { return n.policy.UsesPrices() }
 
 func (n *Network) splitsTUs() bool { return n.policy.SplitsTUs() }
 
-func (n *Network) summarize(trace []workload.Tx) Result {
-	r := Result{Scheme: n.policy.Scheme(), Generated: len(trace)}
-	for _, tx := range trace {
-		r.GeneratedValue += tx.Value
+func (n *Network) summarize() Result {
+	r := Result{
+		Scheme:         n.policy.Scheme(),
+		Generated:      n.genCount,
+		GeneratedValue: n.genValue,
 	}
 	r.Completed = int(n.metrics.Counter("tx_completed"))
 	r.CompletedValue = n.metrics.Counter("value_completed")
@@ -572,15 +681,21 @@ func (n *Network) summarize(trace []workload.Tx) Result {
 	r.MeanDelay = n.metrics.Mean("tx_delay")
 	r.MeanQueueDelay = n.metrics.Mean("queue_delay")
 	r.TotalFees = n.metrics.Counter("fees")
-	imb, dead := 0.0, 0
+	// Imbalance and deadlock are end-state health of the live topology;
+	// closed channels are out of the network.
+	imb, dead, open := 0.0, 0, 0
 	for _, ch := range n.chans {
+		if ch.Closed() {
+			continue
+		}
+		open++
 		imb += ch.Imbalance()
 		if ch.Balance(channel.Fwd) <= 1e-9 || ch.Balance(channel.Rev) <= 1e-9 {
 			dead++
 		}
 	}
-	if len(n.chans) > 0 {
-		r.MeanImbalance = imb / float64(len(n.chans))
+	if open > 0 {
+		r.MeanImbalance = imb / float64(open)
 	}
 	r.DeadlockedChannels = dead
 	return r

@@ -27,7 +27,13 @@ func (a2lPolicy) Setup(n *Network) error {
 }
 
 // ComputeOwner: the tumbler performs the per-payment cryptographic protocol.
+// A departed tumbler (dynamic churn) is A2L's single point of failure: the
+// sender burns the protocol delay locally before discovering there is no
+// hub to route through.
 func (a2lPolicy) ComputeOwner(n *Network, tx workload.Tx) (graph.NodeID, float64) {
+	if len(n.hubs) == 0 {
+		return tx.Sender, n.cfg.A2LCryptoDelay
+	}
 	return n.hubs[0], n.cfg.A2LCryptoDelay
 }
 
@@ -47,6 +53,9 @@ func (a2lPolicy) AlignDispatch(n *Network, free float64) float64 {
 // Plan routes the whole payment through the single tumbler hub in one atomic
 // piece, as the PCH protocol requires.
 func (a2lPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
+	if len(n.hubs) == 0 {
+		return nil, nil, nil // tumbler departed: no route for anyone
+	}
 	hub := n.hubs[0]
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: 1}
 	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {

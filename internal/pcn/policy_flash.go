@@ -30,9 +30,11 @@ func (p *flashPolicy) OnTick(n *Network) {
 func (p *flashPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
 	if tx.Value > n.cfg.FlashElephantThreshold {
 		// Plan on the τ-stale gossip snapshot when available: the live view
-		// is used solely before the first refresh tick.
+		// is used before the first refresh tick, and when an endpoint joined
+		// the network after the snapshot was taken (the joiner bootstraps
+		// from fresh gossip rather than a view that predates it).
 		view := p.view
-		if view == nil {
+		if view == nil || int(tx.Sender) >= view.NumNodes() || int(tx.Recipient) >= view.NumNodes() {
 			view = n.BalanceView()
 		}
 		total, flows := view.MaxFlow(tx.Sender, tx.Recipient, tx.Value)

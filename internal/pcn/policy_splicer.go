@@ -34,13 +34,11 @@ func (splicerPolicy) Setup(n *Network) error {
 	return nil
 }
 
-// ComputeOwner: the managing hub's (powerful) machine computes routes.
+// ComputeOwner: the managing hub's (powerful) machine computes routes. A
+// sender without an assignment yet (a node that joined mid-run, before the
+// next re-placement) self-computes.
 func (splicerPolicy) ComputeOwner(n *Network, tx workload.Tx) (graph.NodeID, float64) {
-	hub := n.hubOf[tx.Sender]
-	if n.isHub[tx.Sender] {
-		hub = tx.Sender
-	}
-	return hub, n.cfg.HubComputeDelay
+	return n.managingHub(tx.Sender), n.cfg.HubComputeDelay
 }
 
 // Plan routes via the sender's and recipient's managing hubs: access segment

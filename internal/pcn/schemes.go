@@ -64,11 +64,18 @@ func concatPaths(parts ...graph.Path) graph.Path {
 }
 
 // BalanceView snapshots the channels' current spendable balances into a
-// graph for max-flow computation.
+// graph for max-flow computation. Closed channels appear as zero-capacity
+// edges rather than being skipped: the view's edge IDs must stay aligned
+// with the network's (flow decompositions come back as paths whose edges
+// index n.chans), and zero-capacity arcs carry no flow.
 func (n *Network) BalanceView() *graph.Graph {
 	view := graph.New(n.g.NumNodes())
 	for _, ch := range n.chans {
-		if _, err := view.AddEdge(ch.U, ch.V, ch.Balance(0), ch.Balance(1)); err != nil {
+		fwd, rev := ch.Balance(0), ch.Balance(1)
+		if ch.Closed() {
+			fwd, rev = 0, 0
+		}
+		if _, err := view.AddEdge(ch.U, ch.V, fwd, rev); err != nil {
 			panic(err) // mirrors a valid existing edge
 		}
 	}

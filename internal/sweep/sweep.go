@@ -35,6 +35,11 @@ type Cell struct {
 	// mutable state with other cells: the returned graph is owned (and
 	// mutated) by the cell's Network.
 	Build func() (*graph.Graph, []workload.Tx, pcn.Config, error)
+	// Run, when set, replaces the default build→NewNetwork→Run pipeline
+	// entirely (Build is ignored). Dynamic-network cells use it to drive the
+	// network through a dynamics.Driver instead of a pre-generated trace.
+	// Like Build, it must not share mutable state with other cells.
+	Run func() (pcn.Result, error)
 }
 
 // CellResult pairs a cell with its simulation outcome.
@@ -47,8 +52,12 @@ type CellResult struct {
 // RunCell executes a single cell synchronously.
 func RunCell(c Cell) CellResult {
 	out := CellResult{Cell: c}
+	if c.Run != nil {
+		out.Result, out.Err = c.Run()
+		return out
+	}
 	if c.Build == nil {
-		out.Err = fmt.Errorf("sweep: cell has no Build hook")
+		out.Err = fmt.Errorf("sweep: cell has no Build or Run hook")
 		return out
 	}
 	g, trace, cfg, err := c.Build()

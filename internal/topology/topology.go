@@ -240,13 +240,20 @@ func ensureConnected(src *rng.Source, g *graph.Graph, capFn CapacityFunc) {
 // outsourcing routing (more client connections, more funds); degree is the
 // excellence proxy used when no vote data is available.
 func TopDegreeNodes(g *graph.Graph, k int) []graph.NodeID {
-	n := g.NumNodes()
-	if k > n {
-		k = n
-	}
-	ids := make([]graph.NodeID, n)
+	ids := make([]graph.NodeID, g.NumNodes())
 	for i := range ids {
 		ids[i] = graph.NodeID(i)
+	}
+	return TopDegreeNodesOf(g, ids, k)
+}
+
+// TopDegreeNodesOf is TopDegreeNodes restricted to an eligible subset (the
+// dynamic-network layer excludes departed nodes and split-off components
+// when re-running placement). The subset is reordered in place.
+func TopDegreeNodesOf(g *graph.Graph, ids []graph.NodeID, k int) []graph.NodeID {
+	n := len(ids)
+	if k > n {
+		k = n
 	}
 	// Selection by partial sort (n is small enough; keep it simple and
 	// deterministic).
