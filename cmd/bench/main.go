@@ -1,0 +1,118 @@
+// Command bench runs the tracked benchmark suite (internal/benchsuite) and
+// emits a BENCH_*.json report — the repository's perf trajectory. It can
+// also gate on a checked-in pin file, failing when a Core benchmark's
+// allocs/op regresses beyond the tolerance (the CI bench job runs exactly
+// that).
+//
+//	bench -out BENCH_PR4.json                 # full suite, write report
+//	bench -short -out /tmp/b.json -pins BENCH_PR4.json
+//	bench -run sim_core -list
+//
+// See README.md "Reading BENCH_*.json" for the report format.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/splicer-pcn/splicer/internal/benchsuite"
+)
+
+func main() {
+	var (
+		short     = flag.Bool("short", false, "trim the figure-level scenarios (CI budget); Core microbenchmarks are unaffected")
+		out       = flag.String("out", "", "write the JSON report to this file")
+		pins      = flag.String("pins", "", "compare Core benchmarks against this checked-in report; exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed relative allocs/op regression against -pins")
+		run       = flag.String("run", "", "regexp filter over benchmark names")
+		list      = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, bm := range benchsuite.Suite(*short) {
+			tag := ""
+			if bm.Core {
+				tag = " [core]"
+			}
+			fmt.Printf("%s%s\n", bm.Name, tag)
+		}
+		return
+	}
+
+	var pinned *benchsuite.Report
+	if *pins != "" {
+		data, err := os.ReadFile(*pins)
+		if err != nil {
+			fatal(err)
+		}
+		pinned = &benchsuite.Report{}
+		if err := json.Unmarshal(data, pinned); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *pins, err))
+		}
+	}
+
+	rep, err := benchsuite.Run(*short, *run)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-36s %12.1f ns/op %10d B/op %8d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s (%d benchmarks, %.1fs)\n", *out, len(rep.Results), float64(rep.DurationMS)/1000)
+	}
+
+	if pinned != nil {
+		if failures := checkPins(rep, *pinned, *tolerance); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "bench: REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bench: no allocs/op regressions against", *pins)
+	}
+}
+
+// checkPins compares Core benchmarks' allocs/op against the pinned report.
+// Only allocs/op are gated: they are deterministic for fixed inputs, unlike
+// wall-clock on shared CI runners.
+func checkPins(cur, pin benchsuite.Report, tolerance float64) []string {
+	pinned := map[string]benchsuite.Result{}
+	for _, r := range pin.Results {
+		if r.Core {
+			pinned[r.Name] = r
+		}
+	}
+	var failures []string
+	for _, r := range cur.Results {
+		p, ok := pinned[r.Name]
+		if !r.Core || !ok {
+			continue
+		}
+		limit := int64(math.Ceil(float64(p.AllocsPerOp) * (1 + tolerance)))
+		if p.AllocsPerOp == 0 {
+			limit = 0 // a zero-alloc benchmark must stay zero-alloc
+		}
+		if r.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, pinned %d (limit %d)", r.Name, r.AllocsPerOp, p.AllocsPerOp, limit))
+		}
+	}
+	return failures
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

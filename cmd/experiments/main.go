@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -33,8 +35,51 @@ func main() {
 		parallel = flag.Bool("parallel", false, "run sweep grids on all cores (identical results, much faster)")
 		workers  = flag.Int("workers", 0, "explicit sweep worker count; a value > 0 takes precedence over -parallel")
 		seeds    = flag.Int("seeds", 1, "seeds per sweep cell; figure points report the across-seed mean")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
+
+	// Profile teardown must run on the error paths too (they os.Exit, which
+	// skips defers): every exit goes through fail()/finish().
+	stopProfiles := func() {}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memProf != "" {
+		prev := stopProfiles
+		stopProfiles = func() {
+			prev()
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}
+	}
+	defer stopProfiles()
+	fail := func(args ...interface{}) {
+		fmt.Fprintln(os.Stderr, args...)
+		stopProfiles()
+		os.Exit(1)
+	}
 
 	small := experiments.SmallScale()
 	large := experiments.LargeScale()
@@ -164,28 +209,24 @@ func main() {
 		for _, id := range strings.Split(*runArg, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
-				os.Exit(1)
+				fail(fmt.Sprintf("experiments: unknown id %q (use -list)", id))
 			}
 			selected = append(selected, id)
 		}
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fail("experiments:", err)
 	}
 	for _, id := range selected {
 		fmt.Fprintf(os.Stderr, "== running %s...\n", id)
 		table, err := runners[id]()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			fail(fmt.Sprintf("experiments: %s: %v", id, err))
 		}
 		path := filepath.Join(*outDir, id+".csv")
 		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail("experiments:", err)
 		}
 		fmt.Println(table.Markdown())
 	}

@@ -1,0 +1,269 @@
+// Package benchsuite is the tracked benchmark suite behind cmd/bench: a
+// fixed set of named benchmark bodies runnable through testing.Benchmark,
+// so the perf trajectory (BENCH_*.json) can be produced by a plain binary —
+// no `go test` invocation, stable names, machine-readable results.
+//
+// The sim-core entries are marked Core: their allocs/op are input-size
+// independent (zero after the pooled-event-queue work), which makes them
+// meaningful regression gates — CI fails when a checked-in pin regresses by
+// more than the tolerance. The figure-level entries track end-to-end
+// wall-clock and are recorded but not gated (they scale with the scenario).
+package benchsuite
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	splicer "github.com/splicer-pcn/splicer"
+	"github.com/splicer-pcn/splicer/internal/experiments"
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/sim"
+)
+
+// Benchmark is one tracked benchmark.
+type Benchmark struct {
+	Name string
+	// Core marks sim-core/path-core microbenchmarks whose allocs/op are
+	// deterministic for the fixed input — the CI allocs regression gate
+	// compares only these against the checked-in pins.
+	Core bool
+	F    func(b *testing.B)
+}
+
+// Result is one benchmark outcome, as serialized into BENCH_*.json.
+type Result struct {
+	Name        string  `json:"name"`
+	Core        bool    `json:"core"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go"`
+	NumCPU     int      `json:"num_cpu"`
+	Short      bool     `json:"short"`
+	DurationMS int64    `json:"duration_ms"`
+	Results    []Result `json:"benchmarks"`
+}
+
+// Suite returns the tracked benchmarks. short trims the figure-level
+// scenario (CI budget); the Core microbenchmarks are identical in both
+// modes so pins stay comparable.
+func Suite(short bool) []Benchmark {
+	return []Benchmark{
+		{Name: "sim_core/engine_schedule_run", Core: true, F: benchEngineScheduleRun},
+		{Name: "sim_core/engine_cancel_churn", Core: true, F: benchEngineCancelChurn},
+		{Name: "sim_core/engine_nested_timers", Core: true, F: benchEngineNestedTimers},
+		{Name: "sim_core/metrics_hot", Core: true, F: benchMetricsHot},
+		{Name: "path_core/unit_shortest_2000", Core: true, F: benchUnitShortest},
+		{Name: "path_core/ksp_unit_k3_2000", Core: true, F: benchKSPUnit},
+		{Name: "path_core/edw_k5_2000", Core: true, F: benchEDW},
+		{Name: "figures/fig8d_throughput_large", Core: false, F: figBench(short)},
+	}
+}
+
+// Run executes the suite (optionally filtered by a name regexp) and
+// assembles the report.
+func Run(short bool, filter string) (Report, error) {
+	var re *regexp.Regexp
+	if filter != "" {
+		var err error
+		re, err = regexp.Compile(filter)
+		if err != nil {
+			return Report{}, fmt.Errorf("benchsuite: bad filter: %w", err)
+		}
+	}
+	rep := Report{
+		Schema:    "splicer-bench/v1",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Short:     short,
+	}
+	begin := time.Now()
+	for _, bm := range Suite(short) {
+		if re != nil && !re.MatchString(bm.Name) {
+			continue
+		}
+		if !bm.Core {
+			// Figure-level benchmarks take >1s per op, so testing.Benchmark
+			// settles at N=1 — run one discarded warmup iteration so the
+			// recorded number is not a cold-cache single shot.
+			testing.Benchmark(bm.F)
+		}
+		r := testing.Benchmark(bm.F)
+		rep.Results = append(rep.Results, Result{
+			Name:        bm.Name,
+			Core:        bm.Core,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	rep.DurationMS = time.Since(begin).Milliseconds()
+	return rep, nil
+}
+
+func benchEngineScheduleRun(b *testing.B) {
+	e := sim.NewEngine()
+	action := func() {}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		t := e.Now()
+		for i := 0; i < batch && n < b.N; i++ {
+			if _, err := e.Schedule(t+float64(i%7)+1, i%3, action); err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		e.Run(t + 16)
+	}
+}
+
+func benchEngineCancelChurn(b *testing.B) {
+	e := sim.NewEngine()
+	action := func() {}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		t := e.Now()
+		for i := 0; i < batch && n < b.N; i++ {
+			ev, err := e.Schedule(t+100, 0, action)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i%8 != 0 {
+				ev.Cancel()
+			}
+			n++
+		}
+		e.Run(t + 200)
+	}
+}
+
+func benchEngineNestedTimers(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			if _, err := e.After(1, 0, tick); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := e.Schedule(1, 0, tick); err != nil {
+		b.Fatal(err)
+	}
+	e.Run(float64(b.N) + 2)
+}
+
+func benchMetricsHot(b *testing.B) {
+	m := sim.NewMetrics()
+	tuCompleted := m.CounterHandle("tu_completed")
+	fees := m.CounterHandle("fees")
+	queueDelay := m.SampleHandle("queue_delay")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AddHandle(tuCompleted, 1)
+		m.AddHandle(fees, 0.01)
+		m.ObserveHandle(queueDelay, float64(i%100)*0.001)
+	}
+}
+
+func benchGraph(b *testing.B, seed uint64, nodes int) *graph.Graph {
+	b.Helper()
+	g, err := splicer.BuildNetwork(splicer.NetworkSpec{Seed: seed, Nodes: nodes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchUnitShortest(b *testing.B) {
+	g := benchGraph(b, 6, 2000)
+	pf := graph.NewPathFinder(g)
+	n := g.NumNodes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src := graph.NodeID(i % n)
+		dst := graph.NodeID((i + n/2) % n)
+		if _, ok := pf.UnitShortestPath(src, dst); !ok {
+			b.Fatalf("%d->%d unreachable", src, dst)
+		}
+	}
+}
+
+func benchKSPUnit(b *testing.B) {
+	g := benchGraph(b, 8, 2000)
+	pf := graph.NewPathFinder(g)
+	n := g.NumNodes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src := graph.NodeID(i % n)
+		dst := graph.NodeID((i + n/2) % n)
+		if paths := pf.KShortestPathsUnit(src, dst, 3); len(paths) == 0 {
+			b.Fatalf("%d->%d no paths", src, dst)
+		}
+	}
+}
+
+func benchEDW(b *testing.B) {
+	g := benchGraph(b, 9, 2000)
+	pf := graph.NewPathFinder(g)
+	n := g.NumNodes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src := graph.NodeID(i % n)
+		dst := graph.NodeID((i + n/2) % n)
+		if paths := pf.EdgeDisjointWidestPaths(src, dst, 5); len(paths) == 0 {
+			b.Fatalf("%d->%d no paths", src, dst)
+		}
+	}
+}
+
+// figBench mirrors the tracked BenchmarkFig8dThroughputLarge: the large
+// scenario at one τ point. Short mode trims the trace for CI budget — its
+// numbers are NOT comparable to a full run (the JSON records the mode).
+func figBench(short bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		old := experiments.TauSweepMs
+		experiments.TauSweepMs = []float64{400}
+		defer func() { experiments.TauSweepMs = old }()
+		s := experiments.LargeScale()
+		s.Duration = 2
+		s.Rate = 150
+		if short {
+			s.Duration = 1
+			s.Rate = 60
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			series, err := experiments.FigThroughput(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(series) == 0 {
+				b.Fatal("no series")
+			}
+		}
+	}
+}

@@ -333,6 +333,32 @@ func (c *Channel) UpdatePrices(kappa, eta float64) {
 	c.processed[1] = 0
 }
 
+// NeedsMaintenance reports whether the next τ-tick maintenance pass can
+// observably change this channel: a positive capacity price still decaying
+// toward zero, unreset window statistics, or a waiting queue. For a channel
+// where this is false, UpdatePrices (either parameterization), MarkStale
+// and a queue drain are all no-ops — λ moves by κ·(n_a+n_b−cap), clamped at
+// zero when the stats are zero, and μ by η·(m_a−m_b), exactly zero then (a
+// residual μ>0 is held, not decayed, so it alone needs no tick) — and the
+// tick scheduler can skip the channel without changing a single bit of the
+// simulation. This is what turns the per-tick channel sweep from O(C) into
+// O(active).
+func (c *Channel) NeedsMaintenance() bool {
+	if c.closed {
+		return false
+	}
+	if c.lambda > 0 || c.processed[0] != 0 || c.processed[1] != 0 {
+		return true
+	}
+	for d := range c.dirs {
+		ds := &c.dirs[d]
+		if ds.arrived != 0 || ds.required != 0 || len(ds.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Lambda returns the current capacity price.
 func (c *Channel) Lambda() float64 { return c.lambda }
 

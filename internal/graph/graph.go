@@ -71,7 +71,19 @@ type Graph struct {
 	adj     [][]EdgeID // node -> incident edge ids (live edges only)
 	removed []bool     // edge id -> tombstoned by RemoveEdge
 	numLive int
+	// mutations counts adjacency-shape changes (AddNode/AddEdge/RemoveEdge);
+	// PathFinder uses it to invalidate its flattened adjacency mirror.
+	// capMutations additionally counts capacity rewrites (SetCapacity),
+	// which invalidate only the mirror's per-arc capacity column.
+	mutations    uint64
+	capMutations uint64
 }
+
+// Mutations returns the adjacency mutation counter.
+func (g *Graph) Mutations() uint64 { return g.mutations }
+
+// CapMutations returns the combined adjacency+capacity mutation counter.
+func (g *Graph) CapMutations() uint64 { return g.mutations + g.capMutations }
 
 // New returns a graph with n isolated nodes.
 func New(n int) *Graph {
@@ -92,6 +104,7 @@ func (g *Graph) NumLiveEdges() int { return g.numLive }
 // AddNode appends a new isolated node and returns its ID.
 func (g *Graph) AddNode() NodeID {
 	g.adj = append(g.adj, nil)
+	g.mutations++
 	return NodeID(len(g.adj) - 1)
 }
 
@@ -110,6 +123,7 @@ func (g *Graph) AddEdge(u, v NodeID, capFwd, capRev float64) (EdgeID, error) {
 	g.adj[u] = append(g.adj[u], id)
 	g.adj[v] = append(g.adj[v], id)
 	g.numLive++
+	g.mutations++
 	return id, nil
 }
 
@@ -130,6 +144,7 @@ func (g *Graph) RemoveEdge(id EdgeID) error {
 	g.adj[e.V] = dropEdgeID(g.adj[e.V], id)
 	g.removed[id] = true
 	g.numLive--
+	g.mutations++
 	return nil
 }
 
@@ -156,6 +171,7 @@ func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 func (g *Graph) SetCapacity(id EdgeID, capFwd, capRev float64) {
 	g.edges[id].CapFwd = capFwd
 	g.edges[id].CapRev = capRev
+	g.capMutations++
 }
 
 // Incident returns the IDs of edges incident to node u. The returned slice
@@ -357,8 +373,14 @@ func (g *Graph) WidestPath(src, dst NodeID) (Path, bool) {
 }
 
 func reconstruct(src, dst NodeID, prevNode []NodeID, prevEdge []EdgeID) Path {
-	var nodes []NodeID
-	var edges []EdgeID
+	nodes, edges := reconstructInto(nil, nil, src, dst, prevNode, prevEdge)
+	return Path{Nodes: nodes, Edges: edges}
+}
+
+// reconstructInto is reconstruct appending into caller-owned buffers, for
+// paths that are consumed immediately (Yen spur splicing) rather than
+// retained.
+func reconstructInto(nodes []NodeID, edges []EdgeID, src, dst NodeID, prevNode []NodeID, prevEdge []EdgeID) ([]NodeID, []EdgeID) {
 	for at := dst; ; {
 		nodes = append(nodes, at)
 		if at == src {
@@ -374,7 +396,7 @@ func reconstruct(src, dst NodeID, prevNode []NodeID, prevEdge []EdgeID) Path {
 	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
 		edges[i], edges[j] = edges[j], edges[i]
 	}
-	return Path{Nodes: nodes, Edges: edges}
+	return nodes, edges
 }
 
 // KShortestPaths implements Yen's algorithm, returning up to k loopless
@@ -401,23 +423,11 @@ func (g *Graph) EdgeDisjointShortestPaths(src, dst NodeID, k int) []Path {
 }
 
 // EdgeDisjointWidestPaths greedily extracts up to k pairwise edge-disjoint
-// widest paths (the EDW path type): find the widest path, remove its edges,
-// repeat.
+// widest paths (the EDW path type): find the widest path, mask its edges,
+// repeat. Repeated queries should share a PathFinder and call its
+// EdgeDisjointWidestPaths method directly.
 func (g *Graph) EdgeDisjointWidestPaths(src, dst NodeID, k int) []Path {
-	masked := g.Clone()
-	pf := NewPathFinder(masked)
-	var out []Path
-	for len(out) < k {
-		p, ok := pf.WidestPath(src, dst)
-		if !ok {
-			break
-		}
-		out = append(out, p)
-		for _, eid := range p.Edges {
-			masked.SetCapacity(eid, 0, 0)
-		}
-	}
-	return out
+	return NewPathFinder(g).EdgeDisjointWidestPaths(src, dst, k)
 }
 
 // HighestFundPaths implements the paper's "Heuristic" path type: pick up to

@@ -17,7 +17,7 @@ type mfArc struct {
 	to   NodeID
 	cap  float64 // remaining residual capacity
 	orig float64 // initial capacity (0 for residual-only arcs)
-	rev  int     // index of the paired reverse arc in arcs[to]
+	rev  int     // index of the paired reverse arc within to's bucket
 	edge EdgeID
 }
 
@@ -27,20 +27,59 @@ type mfArc struct {
 //
 // limit caps the computed flow (pass math.Inf(1) for the true max flow):
 // Flash stops augmenting once the payment amount is covered.
+//
+// The residual network lives in one flat arc arena indexed by per-node
+// offsets (counted in a first pass), so building it costs a handful of
+// allocations instead of growing a slice per node — Flash calls this per
+// elephant payment, which made the incremental appends the simulator's
+// biggest allocation site. Arc order within each node's bucket matches the
+// former append order exactly, so BFS/DFS traversal — and therefore the
+// flow decomposition — is unchanged.
 func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (float64, []FlowPath) {
 	if src == dst || limit <= 0 {
 		return 0, nil
 	}
 	n := g.NumNodes()
-	arcs := make([][]mfArc, n)
-	addArc := func(u, v NodeID, c float64, eid EdgeID) {
-		arcs[u] = append(arcs[u], mfArc{to: v, cap: c, orig: c, rev: len(arcs[v]), edge: eid})
-		arcs[v] = append(arcs[v], mfArc{to: u, cap: 0, orig: 0, rev: len(arcs[u]) - 1, edge: eid})
-	}
-	for i, e := range g.edges {
+
+	// Pass 1: count arcs per node (a forward arc at the origin plus a
+	// residual arc at the target, per positive-capacity direction).
+	counts := make([]int32, n+1)
+	for i := range g.edges {
 		if g.removed[i] {
 			continue // tombstones keep their capacities; flow must not use them
 		}
+		e := &g.edges[i]
+		if e.CapFwd > 0 {
+			counts[e.U]++
+			counts[e.V]++
+		}
+		if e.CapRev > 0 {
+			counts[e.V]++
+			counts[e.U]++
+		}
+	}
+	start := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		start[u+1] = start[u] + counts[u]
+	}
+	arcs := make([]mfArc, start[n])
+	cur := counts[:n]
+	copy(cur, start[:n]) // reuse counts as per-node fill cursors
+
+	// Pass 2: fill, preserving the former append order (edges in id order;
+	// for each direction, the forward arc before its residual twin).
+	addArc := func(u, v NodeID, c float64, eid EdgeID) {
+		fi, ri := cur[u], cur[v]
+		arcs[fi] = mfArc{to: v, cap: c, orig: c, rev: int(ri - start[v]), edge: eid}
+		arcs[ri] = mfArc{to: u, cap: 0, orig: 0, rev: int(fi - start[u]), edge: eid}
+		cur[u]++
+		cur[v]++
+	}
+	for i := range g.edges {
+		if g.removed[i] {
+			continue
+		}
+		e := &g.edges[i]
 		if e.CapFwd > 0 {
 			addArc(e.U, e.V, e.CapFwd, e.ID)
 		}
@@ -50,17 +89,18 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (float64, []FlowPath) {
 	}
 
 	level := make([]int, n)
-	iter := make([]int, n)
+	iter := make([]int32, n)
+	queue := make([]NodeID, 0, n)
 	bfs := func() bool {
 		for i := range level {
 			level[i] = -1
 		}
 		level[src] = 0
-		queue := []NodeID{src}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, a := range arcs[u] {
+		queue = append(queue[:0], src)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for i, end := start[u], start[u+1]; i < end; i++ {
+				a := &arcs[i]
 				if a.cap > flowEps && level[a.to] < 0 {
 					level[a.to] = level[u] + 1
 					queue = append(queue, a.to)
@@ -74,13 +114,13 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (float64, []FlowPath) {
 		if u == dst {
 			return f
 		}
-		for ; iter[u] < len(arcs[u]); iter[u]++ {
-			a := &arcs[u][iter[u]]
+		for ; iter[u] < start[u+1]-start[u]; iter[u]++ {
+			a := &arcs[start[u]+iter[u]]
 			if a.cap > flowEps && level[a.to] == level[u]+1 {
 				d := dfs(a.to, math.Min(f, a.cap))
 				if d > flowEps {
 					a.cap -= d
-					arcs[a.to][a.rev].cap += d
+					arcs[start[a.to]+int32(a.rev)].cap += d
 					return d
 				}
 			}
@@ -111,34 +151,31 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (float64, []FlowPath) {
 	// Net flow on each forward arc is orig - cap; residual arcs never carry
 	// positive net flow of their own. Cancel opposite-direction flows on the
 	// same channel so the decomposition doesn't emit 2-cycles.
-	flow := make([][]float64, n)
-	for u := range arcs {
-		flow[u] = make([]float64, len(arcs[u]))
-		for i, a := range arcs[u] {
-			if a.orig > 0 {
-				if f := a.orig - a.cap; f > flowEps {
-					flow[u][i] = f
-				}
+	flow := make([]float64, len(arcs))
+	for i := range arcs {
+		if a := &arcs[i]; a.orig > 0 {
+			if f := a.orig - a.cap; f > flowEps {
+				flow[i] = f
 			}
 		}
 	}
 
 	var paths []FlowPath
+	prevArc := make([]int32, n)
+	prevNode := make([]NodeID, n)
+	seen := make([]bool, n)
 	for iterGuard := 0; iterGuard <= len(g.edges)+1; iterGuard++ {
-		prevArc := make([]int, n)
-		prevNode := make([]NodeID, n)
 		for i := range prevArc {
 			prevArc[i] = -1
 			prevNode[i] = -1
+			seen[i] = false
 		}
-		queue := []NodeID{src}
-		seen := make([]bool, n)
+		queue = append(queue[:0], src)
 		seen[src] = true
-		for len(queue) > 0 && !seen[dst] {
-			u := queue[0]
-			queue = queue[1:]
-			for i, a := range arcs[u] {
-				if flow[u][i] > flowEps && !seen[a.to] {
+		for qi := 0; qi < len(queue) && !seen[dst]; qi++ {
+			u := queue[qi]
+			for i, end := start[u], start[u+1]; i < end; i++ {
+				if a := &arcs[i]; flow[i] > flowEps && !seen[a.to] {
 					seen[a.to] = true
 					prevArc[a.to] = i
 					prevNode[a.to] = u
@@ -151,18 +188,16 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (float64, []FlowPath) {
 		}
 		amount := math.Inf(1)
 		for at := dst; at != src; at = prevNode[at] {
-			u := prevNode[at]
-			if f := flow[u][prevArc[at]]; f < amount {
+			if f := flow[prevArc[at]]; f < amount {
 				amount = f
 			}
 		}
 		var nodes []NodeID
 		var eids []EdgeID
 		for at := dst; at != src; at = prevNode[at] {
-			u := prevNode[at]
 			nodes = append(nodes, at)
-			eids = append(eids, arcs[u][prevArc[at]].edge)
-			flow[u][prevArc[at]] -= amount
+			eids = append(eids, arcs[prevArc[at]].edge)
+			flow[prevArc[at]] -= amount
 		}
 		nodes = append(nodes, src)
 		for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {

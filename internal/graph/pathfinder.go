@@ -22,14 +22,52 @@ type PathFinder struct {
 	hops     []int     // hop counts for widest-path tie-breaking
 	prevEdge []EdgeID
 	prevNode []NodeID
-	seen     []uint32 // stamp: dist/prev valid in the current query
-	done     []uint32 // stamp: node finalized in the current query
-	query    uint32
+	// state fuses the former seen/done stamp arrays: a node is seen in the
+	// current query iff state[v] >= query<<1, and finalized (done) iff
+	// state[v] == query<<1|1. Query stamps strictly increase between
+	// wraparounds, so one load answers both questions in the relaxation
+	// loop.
+	state []uint32
+	query uint32
 	heap     nodeHeap
 
 	// Yen scratch.
 	bannedNode []bool
-	bannedEdge map[EdgeID]bool
+	// edgeStamp/edgeGen implement the banned/masked edge sets of Yen's spur
+	// searches, EDS extraction and EDW masking as O(1)-reset generation
+	// stamps: an edge is in the current set iff its stamp equals edgeGen.
+	// The former map[EdgeID]bool cost a hash lookup per edge relaxation in
+	// every spur Dijkstra — the single hottest line of route planning.
+	edgeStamp []uint32
+	edgeGen   uint32
+
+	// uheap and the CSR arrays below serve the unit-weight fast path: the
+	// adjacency lists flattened into (start, eid, other) arrays so the
+	// relaxation loop reads two int32s per arc instead of chasing slice
+	// headers and 40-byte Edge structs. The mirror is rebuilt lazily when
+	// the graph's adjacency mutation counter moves (channel opens/closes,
+	// node churn); capacities are not mirrored, so capacity updates cost
+	// nothing. Arc order matches g.adj exactly — traversal order is
+	// observable through Dijkstra tie-breaking and must not change.
+	uheap    unitHeap
+	csrStart []int32
+	// csrArc packs (other<<32 | eid) per arc: one load yields both the
+	// neighbor and the edge id.
+	csrArc []uint64
+	csrMut uint64
+	csrOK  bool
+	// csrCap mirrors the directional capacity out of each arc for
+	// widestPath; it shares the arc layout above but invalidates on
+	// capacity rewrites too (csrCapMut tracks Graph.CapMutations).
+	csrCap    []float64
+	csrCapMut uint64
+	csrCapOK  bool
+
+	// spur scratch: Yen's spur paths are consumed immediately (spliced into
+	// a freshly allocated total path), so they reconstruct into reusable
+	// buffers instead of allocating two slices per spur search.
+	spurNodes []NodeID
+	spurEdges []EdgeID
 }
 
 // NewPathFinder returns a finder for g.
@@ -61,21 +99,107 @@ func (pf *PathFinder) ensure() {
 	pf.hops = append(make([]int, 0, size), pf.hops...)[:size]
 	pf.prevEdge = append(make([]EdgeID, 0, size), pf.prevEdge...)[:size]
 	pf.prevNode = append(make([]NodeID, 0, size), pf.prevNode...)[:size]
-	pf.seen = append(make([]uint32, 0, size), pf.seen...)[:size]
-	pf.done = append(make([]uint32, 0, size), pf.done...)[:size]
+	pf.state = append(make([]uint32, 0, size), pf.state...)[:size]
 	pf.bannedNode = append(make([]bool, 0, size), pf.bannedNode...)[:size]
 }
+
+// ensureEdges sizes the edge-stamp array to the graph's current edge
+// count, growing 2x like ensure.
+func (pf *PathFinder) ensureEdges() {
+	n := pf.g.NumEdges()
+	if len(pf.edgeStamp) >= n {
+		return
+	}
+	size := n
+	if size < 2*len(pf.edgeStamp) {
+		size = 2 * len(pf.edgeStamp)
+	}
+	pf.edgeStamp = append(make([]uint32, 0, size), pf.edgeStamp...)[:size]
+}
+
+// beginEdgeSet starts a fresh banned/masked edge set in O(1). Edge-set
+// users (KSP spur iterations, EDS, EDW) never nest, so one stamp array
+// serves them all.
+func (pf *PathFinder) beginEdgeSet() {
+	pf.ensureEdges()
+	pf.edgeGen++
+	if pf.edgeGen == 0 { // stamp wraparound: clear once and restart
+		clear(pf.edgeStamp)
+		pf.edgeGen = 1
+	}
+}
+
+// ensureCSR refreshes the flattened adjacency mirror if the graph's shape
+// changed since the last build.
+func (pf *PathFinder) ensureCSR() {
+	g := pf.g
+	if pf.csrOK && pf.csrMut == g.Mutations() {
+		return
+	}
+	n := g.NumNodes()
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	if cap(pf.csrStart) < n+1 {
+		pf.csrStart = make([]int32, 0, 2*(n+1))
+	}
+	if cap(pf.csrArc) < total {
+		pf.csrArc = make([]uint64, 0, 2*total)
+	}
+	pf.csrStart = pf.csrStart[:0]
+	pf.csrArc = pf.csrArc[:0]
+	for u := 0; u < n; u++ {
+		pf.csrStart = append(pf.csrStart, int32(len(pf.csrArc)))
+		for _, eid := range g.adj[u] {
+			e := &g.edges[eid]
+			other := uint64(uint32(int(e.U) + int(e.V) - u))
+			pf.csrArc = append(pf.csrArc, other<<32|uint64(uint32(eid)))
+		}
+	}
+	pf.csrStart = append(pf.csrStart, int32(len(pf.csrArc)))
+	pf.csrMut = g.Mutations()
+	pf.csrOK = true
+	pf.csrCapOK = false // arc layout changed; the capacity column is stale
+}
+
+// ensureCSRCaps refreshes the per-arc capacity column of the adjacency
+// mirror (widestPath's relaxation input).
+func (pf *PathFinder) ensureCSRCaps() {
+	pf.ensureCSR()
+	g := pf.g
+	if pf.csrCapOK && pf.csrCapMut == g.CapMutations() {
+		return
+	}
+	if cap(pf.csrCap) < len(pf.csrArc) {
+		pf.csrCap = make([]float64, 0, cap(pf.csrArc))
+	}
+	pf.csrCap = pf.csrCap[:len(pf.csrArc)]
+	for u := 0; u < g.NumNodes(); u++ {
+		for i, end := pf.csrStart[u], pf.csrStart[u+1]; i < end; i++ {
+			e := &g.edges[uint32(pf.csrArc[i])]
+			if e.U == NodeID(u) {
+				pf.csrCap[i] = e.CapFwd
+			} else {
+				pf.csrCap[i] = e.CapRev
+			}
+		}
+	}
+	pf.csrCapMut = g.CapMutations()
+	pf.csrCapOK = true
+}
+
+func (pf *PathFinder) banEdge(id EdgeID) { pf.edgeStamp[id] = pf.edgeGen }
+
+func (pf *PathFinder) edgeBanned(id EdgeID) bool { return pf.edgeStamp[id] == pf.edgeGen }
 
 // begin starts a new query: bumping the stamp invalidates every per-node
 // mark from earlier queries without touching the arrays.
 func (pf *PathFinder) begin() {
 	pf.ensure()
 	pf.query++
-	if pf.query == 0 { // stamp wraparound: clear once and restart
-		for i := range pf.seen {
-			pf.seen[i] = 0
-			pf.done[i] = 0
-		}
+	if pf.query >= 1<<31 { // stamp wraparound (query<<1|1 must fit): clear and restart
+		clear(pf.state)
 		pf.query = 1
 	}
 	pf.heap.reset()
@@ -87,22 +211,32 @@ func (pf *PathFinder) begin() {
 func (pf *PathFinder) ShortestPath(src, dst NodeID, w WeightFunc) (Path, bool) {
 	pf.begin()
 	g := pf.g
+	sd := pf.query << 1
 	pf.dist[src] = 0
 	pf.prevEdge[src] = -1
 	pf.prevNode[src] = -1
-	pf.seen[src] = pf.query
+	pf.state[src] = sd
 	pf.heap.push(src, 0)
 	for pf.heap.len() > 0 {
 		u, du := pf.heap.pop()
-		if pf.done[u] == pf.query {
+		if pf.state[u] == sd|1 {
 			continue
 		}
-		pf.done[u] = pf.query
+		pf.state[u] = sd | 1
 		if u == dst {
 			break
 		}
 		for _, eid := range g.adj[u] {
 			e := g.edges[eid]
+			v := e.Other(u)
+			// A finalized node cannot be improved (weights are nonnegative,
+			// so du+cost >= du >= dist[v]); skipping it before the weight
+			// callback saves the indirect call on roughly half the edge
+			// visits without changing any relaxation outcome.
+			sv := pf.state[v]
+			if sv == sd|1 {
+				continue
+			}
 			cost := w(e, u)
 			if math.IsInf(cost, 1) {
 				continue
@@ -110,90 +244,318 @@ func (pf *PathFinder) ShortestPath(src, dst NodeID, w WeightFunc) (Path, bool) {
 			if cost < 0 {
 				panic("graph: negative edge weight")
 			}
-			v := e.Other(u)
-			if nd := du + cost; pf.seen[v] != pf.query || nd < pf.dist[v] {
+			if nd := du + cost; sv < sd || nd < pf.dist[v] {
 				pf.dist[v] = nd
 				pf.prevEdge[v] = eid
 				pf.prevNode[v] = u
-				pf.seen[v] = pf.query
+				pf.state[v] = sd
 				pf.heap.push(v, nd)
 			}
 		}
 	}
-	if pf.seen[dst] != pf.query {
+	if pf.state[dst] < sd {
 		return Path{}, false
 	}
 	return reconstruct(src, dst, pf.prevNode, pf.prevEdge), true
+}
+
+// UnitShortestPath is ShortestPath specialized to unit weights (hop
+// counts) — the simulator's most common query (landmark detours, Flash
+// mice paths, EDS extraction, the ShortestPath baseline scheme). The
+// specialization removes the per-edge indirect weight call and Edge copy
+// from the relaxation loop; pushes, pops and relaxation outcomes are
+// bit-identical to ShortestPath(src, dst, UnitWeight).
+func (pf *PathFinder) UnitShortestPath(src, dst NodeID) (Path, bool) {
+	return pf.shortestUnit(src, dst, false, false)
+}
+
+// shortestUnit is the unit-weight Dijkstra core. banEdges skips edges in
+// the current stamped edge set; banNodes skips the bannedNode marks (Yen
+// spur roots). A banned edge/node behaves exactly like an infinite weight
+// in the generic loop: the arc is skipped, nothing else changes.
+func (pf *PathFinder) shortestUnit(src, dst NodeID, banEdges, banNodes bool) (Path, bool) {
+	if !pf.runUnit(src, dst, banEdges, banNodes) {
+		return Path{}, false
+	}
+	return reconstruct(src, dst, pf.prevNode, pf.prevEdge), true
+}
+
+// runUnit executes the unit Dijkstra, leaving the prev tree in the scratch
+// arrays; it reports whether dst was reached.
+func (pf *PathFinder) runUnit(src, dst NodeID, banEdges, banNodes bool) bool {
+	pf.begin()
+	pf.ensureCSR()
+	pf.uheap.reset()
+	sd := pf.query << 1
+	// Local copies of the scratch arrays: none of them grow during the
+	// query, and keeping them in locals lets the compiler keep the slice
+	// headers in registers across the uheap.push calls (which mutate pf
+	// state and would otherwise force reloads).
+	state, dist := pf.state, pf.dist
+	prevEdge, prevNode := pf.prevEdge, pf.prevNode
+	csrStart, csrArc := pf.csrStart, pf.csrArc
+	dist[src] = 0
+	prevEdge[src] = -1
+	prevNode[src] = -1
+	state[src] = sd
+	pf.uheap.push(src, 0)
+	for pf.uheap.len() > 0 {
+		u, du := pf.uheap.pop()
+		if state[u] == sd|1 {
+			continue
+		}
+		state[u] = sd | 1
+		if u == dst {
+			break
+		}
+		nd := du + 1
+		fnd := float64(nd)
+		arcs := csrArc[csrStart[u]:csrStart[u+1]]
+		if !banEdges && !banNodes {
+			// Clean variant (first searches, landmark detours, access
+			// paths): no ban checks in the inner loop at all.
+			for _, arc := range arcs {
+				v := NodeID(arc >> 32)
+				sv := state[v]
+				if sv == sd|1 {
+					continue
+				}
+				if sv < sd || fnd < dist[v] {
+					dist[v] = fnd
+					prevEdge[v] = EdgeID(uint32(arc))
+					prevNode[v] = u
+					state[v] = sd
+					pf.uheap.push(v, nd)
+				}
+			}
+			continue
+		}
+		edgeStamp, edgeGen := pf.edgeStamp, pf.edgeGen
+		bannedNode := pf.bannedNode
+		for _, arc := range arcs {
+			eid := EdgeID(uint32(arc))
+			if banEdges && edgeStamp[eid] == edgeGen {
+				continue
+			}
+			v := NodeID(arc >> 32)
+			sv := state[v]
+			if sv == sd|1 {
+				continue
+			}
+			if banNodes && bannedNode[v] {
+				continue
+			}
+			if sv < sd || fnd < dist[v] {
+				dist[v] = fnd
+				prevEdge[v] = eid
+				prevNode[v] = u
+				state[v] = sd
+				pf.uheap.push(v, nd)
+			}
+		}
+	}
+	return pf.state[dst] >= sd
+}
+
+// UnitShortestPaths runs ONE unit-weight Dijkstra from src and returns the
+// shortest path to every target (the zero Path where unreachable). Each
+// entry is identical to UnitShortestPath(src, dsts[i]) run separately: the
+// expansion is deterministic and a finalized node's dist/prev never change,
+// so running the same expansion past an early target cannot alter that
+// target's already-frozen path. Landmark routing uses it to compute all k
+// sender→landmark detour heads in a single traversal.
+func (pf *PathFinder) UnitShortestPaths(src NodeID, dsts []NodeID) []Path {
+	out := make([]Path, len(dsts))
+	if len(dsts) == 0 {
+		return out
+	}
+	pf.begin()
+	pf.ensureCSR()
+	pf.uheap.reset()
+	sd := pf.query << 1
+	reached := make([]bool, len(dsts))
+	remaining := len(dsts)
+	state, dist := pf.state, pf.dist
+	prevEdge, prevNode := pf.prevEdge, pf.prevNode
+	csrStart, csrArc := pf.csrStart, pf.csrArc
+	dist[src] = 0
+	prevEdge[src] = -1
+	prevNode[src] = -1
+	state[src] = sd
+	pf.uheap.push(src, 0)
+	for pf.uheap.len() > 0 && remaining > 0 {
+		u, du := pf.uheap.pop()
+		if state[u] == sd|1 {
+			continue
+		}
+		state[u] = sd | 1
+		for i, d := range dsts {
+			if d == u && !reached[i] {
+				reached[i] = true
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		nd := du + 1
+		fnd := float64(nd)
+		for _, arc := range csrArc[csrStart[u]:csrStart[u+1]] {
+			v := NodeID(arc >> 32)
+			sv := state[v]
+			if sv == sd|1 {
+				continue
+			}
+			if sv < sd || fnd < dist[v] {
+				dist[v] = fnd
+				prevEdge[v] = EdgeID(uint32(arc))
+				prevNode[v] = u
+				state[v] = sd
+				pf.uheap.push(v, nd)
+			}
+		}
+	}
+	for i, d := range dsts {
+		if reached[i] {
+			out[i] = reconstruct(src, d, pf.prevNode, pf.prevEdge)
+		}
+	}
+	return out
 }
 
 // WidestPath returns the path from src to dst maximizing the bottleneck
 // directional capacity (a maximin Dijkstra). Ties are broken by hop count.
 // ok is false when dst is unreachable through positive-capacity arcs.
 func (pf *PathFinder) WidestPath(src, dst NodeID) (Path, bool) {
+	return pf.widestPath(src, dst, false)
+}
+
+// widestPath is WidestPath with an optional mask: when masked, edges in the
+// current edge set are skipped — exactly what zeroing their capacities on a
+// cloned graph did, without the clone.
+func (pf *PathFinder) widestPath(src, dst NodeID, masked bool) (Path, bool) {
 	pf.begin()
-	g := pf.g
-	pf.dist[src] = math.Inf(1) // dist doubles as the bottleneck width
-	pf.hops[src] = 0
-	pf.prevEdge[src] = -1
-	pf.prevNode[src] = -1
-	pf.seen[src] = pf.query
+	pf.ensureCSRCaps()
+	sd := pf.query << 1
+	state, dist, hops := pf.state, pf.dist, pf.hops
+	prevEdge, prevNode := pf.prevEdge, pf.prevNode
+	csrStart, csrCap := pf.csrStart, pf.csrCap
+	dist[src] = math.Inf(1) // dist doubles as the bottleneck width
+	hops[src] = 0
+	prevEdge[src] = -1
+	prevNode[src] = -1
+	state[src] = sd
 	pf.heap.push(src, 0) // priority = -width so the widest pops first
 	for pf.heap.len() > 0 {
 		u, _ := pf.heap.pop()
-		if pf.done[u] == pf.query {
+		if state[u] == sd|1 {
 			continue
 		}
-		pf.done[u] = pf.query
+		state[u] = sd | 1
 		if u == dst {
 			break
 		}
-		for _, eid := range g.adj[u] {
-			e := g.edges[eid]
-			c := e.Capacity(u)
+		du := dist[u]
+		dh := hops[u] + 1
+		start, end := csrStart[u], csrStart[u+1]
+		caps := csrCap[start:end]
+		for i, arc := range pf.csrArc[start:end] {
+			eid := EdgeID(uint32(arc))
+			if masked && pf.edgeStamp[eid] == pf.edgeGen {
+				continue
+			}
+			c := caps[i]
 			if c <= 0 {
 				continue
 			}
-			v := e.Other(u)
-			nw := math.Min(pf.dist[u], c)
-			nh := pf.hops[u] + 1
-			if pf.seen[v] != pf.query || nw > pf.dist[v] || (nw == pf.dist[v] && nh < pf.hops[v]) {
-				pf.dist[v] = nw
-				pf.hops[v] = nh
-				pf.prevEdge[v] = eid
-				pf.prevNode[v] = u
-				pf.seen[v] = pf.query
+			v := NodeID(arc >> 32)
+			nw := du
+			if c < nw {
+				nw = c
+			}
+			// Unlike shortest paths, a finalized node can still be refined
+			// here (equal width, fewer hops), so the done bit must survive
+			// the update: only an unseen node gets the plain seen stamp.
+			sv := state[v]
+			if sv < sd || nw > dist[v] || (nw == dist[v] && dh < hops[v]) {
+				dist[v] = nw
+				hops[v] = dh
+				prevEdge[v] = eid
+				prevNode[v] = u
+				if sv < sd {
+					state[v] = sd
+				}
 				pf.heap.push(v, -nw)
 			}
 		}
 	}
-	if pf.seen[dst] != pf.query || (pf.prevNode[dst] == -1 && src != dst) {
+	if pf.state[dst] < sd || (pf.prevNode[dst] == -1 && src != dst) {
 		return Path{}, false
 	}
 	return reconstruct(src, dst, pf.prevNode, pf.prevEdge), true
+}
+
+// EdgeDisjointWidestPaths greedily extracts up to k pairwise edge-disjoint
+// widest paths (the EDW path type) on the finder's scratch state: find the
+// widest path, mask its edges, repeat. Masking uses the stamped edge set,
+// so — unlike Graph.EdgeDisjointWidestPaths — no graph clone and no
+// throwaway finder are built per query; results are identical.
+func (pf *PathFinder) EdgeDisjointWidestPaths(src, dst NodeID, k int) []Path {
+	pf.beginEdgeSet()
+	var out []Path
+	for len(out) < k {
+		p, ok := pf.widestPath(src, dst, true)
+		if !ok {
+			break
+		}
+		out = append(out, p)
+		for _, eid := range p.Edges {
+			pf.banEdge(eid)
+		}
+	}
+	return out
 }
 
 // KShortestPaths implements Yen's algorithm on the finder's scratch state,
 // returning up to k loopless minimum-cost paths from src to dst under w, in
 // nondecreasing cost order. Equal-cost candidates keep their discovery order
 // (the candidate heap tie-breaks on insertion sequence, matching the
-// stable-sort semantics this replaced).
+// stable-sort semantics this replaced). For unit weights prefer
+// KShortestPathsUnit, which runs every spur search on the allocation- and
+// indirection-free unit Dijkstra.
 func (pf *PathFinder) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Path {
+	return pf.kShortestPaths(src, dst, k, w, false)
+}
+
+// KShortestPathsUnit is KShortestPaths under unit (hop-count) weights,
+// with identical results to KShortestPaths(src, dst, k, UnitWeight).
+func (pf *PathFinder) KShortestPathsUnit(src, dst NodeID, k int) []Path {
+	return pf.kShortestPaths(src, dst, k, UnitWeight, true)
+}
+
+func (pf *PathFinder) kShortestPaths(src, dst NodeID, k int, w WeightFunc, unit bool) []Path {
 	if k <= 0 {
 		return nil
 	}
-	first, ok := pf.ShortestPath(src, dst, w)
+	var first Path
+	var ok bool
+	if unit {
+		first, ok = pf.shortestUnit(src, dst, false, false)
+	} else {
+		first, ok = pf.ShortestPath(src, dst, w)
+	}
 	if !ok {
 		return nil
 	}
 	g := pf.g
 	result := []Path{first}
 	seen := map[string]bool{pathKey(first): true}
-	if pf.bannedEdge == nil {
-		pf.bannedEdge = map[EdgeID]bool{}
-	}
 	var cands candidateHeap
 	var seq uint64
 	pathCost := func(p Path) float64 {
+		if unit {
+			return float64(len(p.Edges))
+		}
 		c := 0.0
 		for i, eid := range p.Edges {
 			c += w(g.edges[eid], p.Nodes[i])
@@ -201,13 +563,22 @@ func (pf *PathFinder) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Pat
 		return c
 	}
 	wf := func(e Edge, from NodeID) float64 {
-		if pf.bannedEdge[e.ID] || pf.bannedNode[e.Other(from)] {
+		if pf.edgeBanned(e.ID) || pf.bannedNode[e.Other(from)] {
 			return math.Inf(1)
 		}
 		return w(e, from)
 	}
 	sharing := make([]int, 0, k)
 
+	// prevSpur is the spur index at which the newest result path deviated
+	// from the result that spawned it (Lawler's optimization): for spur
+	// indices below it, the root prefix and banned edge set are identical
+	// to a search an earlier round already ran, whose candidate is in
+	// `cands` or was seen-deduplicated — recomputing it cannot add
+	// anything, so those Dijkstras are skipped outright. The root-node
+	// bans and sharing-set filtering still advance through the skipped
+	// prefix so the remaining spur searches see the exact same state.
+	prevSpur := 0
 	for len(result) < k {
 		prev := result[len(result)-1]
 		// Result paths sharing the current spur root. Every result path
@@ -226,21 +597,36 @@ func (pf *PathFinder) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Pat
 				}
 			}
 			sharing = keep
-			// Exclude arcs that would recreate any already-found path
-			// sharing this root, and exclude earlier root nodes to keep spur
-			// paths loopless (the root grows one node per iteration).
-			clear(pf.bannedEdge)
-			for _, idx := range sharing {
-				if rp := result[idx]; len(rp.Edges) > i {
-					pf.bannedEdge[rp.Edges[i]] = true
-				}
-			}
 			if i > 0 {
 				pf.bannedNode[prev.Nodes[i-1]] = true
 			}
-			spur, ok := pf.ShortestPath(prev.Nodes[i], dst, wf)
-			if !ok {
+			if i < prevSpur {
 				continue
+			}
+			// Exclude arcs that would recreate any already-found path
+			// sharing this root, and exclude earlier root nodes to keep spur
+			// paths loopless (the root grows one node per iteration).
+			pf.beginEdgeSet()
+			for _, idx := range sharing {
+				if rp := result[idx]; len(rp.Edges) > i {
+					pf.banEdge(rp.Edges[i])
+				}
+			}
+			var spur Path
+			if unit {
+				// Spur paths are spliced into `total` below and discarded,
+				// so they reconstruct into the finder's reusable scratch.
+				if !pf.runUnit(prev.Nodes[i], dst, true, true) {
+					continue
+				}
+				pf.spurNodes, pf.spurEdges = reconstructInto(
+					pf.spurNodes[:0], pf.spurEdges[:0], prev.Nodes[i], dst, pf.prevNode, pf.prevEdge)
+				spur = Path{Nodes: pf.spurNodes, Edges: pf.spurEdges}
+			} else {
+				spur, ok = pf.ShortestPath(prev.Nodes[i], dst, wf)
+				if !ok {
+					continue
+				}
 			}
 			total := Path{
 				Nodes: append(append([]NodeID(nil), prev.Nodes[:i+1]...), spur.Nodes[1:]...),
@@ -251,7 +637,7 @@ func (pf *PathFinder) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Pat
 				continue
 			}
 			seen[key] = true
-			cands.push(total, pathCost(total), seq)
+			cands.push(total, pathCost(total), seq, i)
 			seq++
 		}
 		if n := len(prev.Nodes) - 2; n > 0 {
@@ -262,7 +648,9 @@ func (pf *PathFinder) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Pat
 		if cands.len() == 0 {
 			break
 		}
-		result = append(result, cands.pop())
+		var next Path
+		next, prevSpur = cands.pop()
+		result = append(result, next)
 	}
 	return result
 }
@@ -271,22 +659,16 @@ func (pf *PathFinder) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Pat
 // shortest (fewest-hop) paths on the finder's scratch state: find a shortest
 // path, remove its edges, repeat.
 func (pf *PathFinder) EdgeDisjointShortestPaths(src, dst NodeID, k int) []Path {
-	used := map[EdgeID]bool{}
-	w := func(e Edge, from NodeID) float64 {
-		if used[e.ID] {
-			return math.Inf(1)
-		}
-		return 1
-	}
+	pf.beginEdgeSet()
 	var out []Path
 	for len(out) < k {
-		p, ok := pf.ShortestPath(src, dst, w)
+		p, ok := pf.shortestUnit(src, dst, true, false)
 		if !ok {
 			break
 		}
 		out = append(out, p)
 		for _, eid := range p.Edges {
-			used[eid] = true
+			pf.banEdge(eid)
 		}
 	}
 	return out

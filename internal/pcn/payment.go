@@ -19,7 +19,10 @@ type txRun struct {
 	remaining int // unresolved TUs
 	failed    bool
 	finished  bool
-	deadline  *sim.Event
+	deadline  sim.Event
+	// regIdx is the payment's slot in the active-payment registry
+	// (tick.go); maintained by registerTx/unregisterTx.
+	regIdx int
 	// rc is the rate controller this payment was dispatched under. It is
 	// held by instance, not looked up by pair: a topology mutation can
 	// re-plan the pair with a different path count, which swaps the pair's
@@ -28,8 +31,9 @@ type txRun struct {
 	rc *routing.RateController
 	// pending holds TUs waiting for window room (rate-controlled schemes).
 	pending []*tuRun
-	// live TUs for deadline unwinding.
-	live map[*tuRun]bool
+	// live TUs for deadline unwinding (swap-remove registry; a map here
+	// cost an allocation per payment and a hash per TU transition).
+	live []*tuRun
 }
 
 // tuRun is one transaction-unit in flight.
@@ -47,7 +51,16 @@ type tuRun struct {
 		ch  *channel.Channel
 		dir channel.Direction
 	}
-	done bool
+	liveIdx int
+	done    bool
+	// advance is the hop-forwarding closure, built once per TU and reused
+	// for every per-hop timer instead of allocating a closure per hop.
+	advance func()
+	// pre/hash cache the TU's HTLC preimage and lock hash (both pure
+	// functions of the TU id), so the per-hop path hashes once per TU
+	// instead of twice per hop.
+	pre  [32]byte
+	hash [32]byte
 }
 
 // onArrival is the entry point for a generated payment: it models the
@@ -55,7 +68,7 @@ type tuRun struct {
 // managing hub for hub-based policies) and then dispatches. Which node pays
 // the compute cost, and any epoch alignment, come from the SchemePolicy.
 func (n *Network) onArrival(tx workload.Tx) {
-	n.metrics.Add("tx_generated", 1)
+	n.metrics.AddHandle(n.mh.txGenerated, 1)
 	owner, service := n.policy.ComputeOwner(n, tx)
 	now := n.engine.Now()
 	free := n.cpuFree[owner]
@@ -76,21 +89,21 @@ func (n *Network) dispatch(tx workload.Tx) {
 	if n.engine.Now() >= tx.Deadline {
 		// Route computation (sender CPU or hub crypto backlog) outlasted
 		// the payment timeout.
-		n.failTx(&txRun{tx: tx, live: map[*tuRun]bool{}}, "compute_backlog")
+		n.failTx(&txRun{tx: tx}, "compute_backlog")
 		return
 	}
 	paths, allocs, err := n.policy.Plan(n, tx)
 	if err != nil || len(paths) == 0 || len(allocs) == 0 {
-		n.failTx(&txRun{tx: tx, live: map[*tuRun]bool{}}, "no_route")
+		n.failTx(&txRun{tx: tx}, "no_route")
 		return
 	}
 	run := &txRun{
 		tx:    tx,
 		pair:  pairKey{tx.Sender, tx.Recipient},
 		paths: paths,
-		live:  map[*tuRun]bool{},
 	}
 	n.txState[tx.ID] = run
+	n.registerTx(run)
 
 	rateControlled := n.splitsTUs()
 	if rateControlled {
@@ -109,6 +122,9 @@ func (n *Network) dispatch(tx workload.Tx) {
 			if rcErr != nil {
 				n.failTx(run, "controller")
 				return
+			}
+			if !ok {
+				n.registerPair(run.pair)
 			}
 			n.rateCtl[run.pair] = rc
 		}
@@ -168,8 +184,12 @@ func (n *Network) drainPending(run *txRun) {
 
 // startTU begins forwarding a TU from its source.
 func (n *Network) startTU(tu *tuRun) {
-	tu.tx.live[tu] = true
-	n.metrics.Add("tu_sent", 1)
+	tu.liveIdx = len(tu.tx.live)
+	tu.tx.live = append(tu.tx.live, tu)
+	tu.advance = func() { n.advanceTU(tu) }
+	tu.pre = htlc.NewPreimage(tu.id)
+	tu.hash = htlc.LockHash(tu.pre)
+	n.metrics.AddHandle(n.mh.tuSent, 1)
 	n.advanceTU(tu)
 }
 
@@ -199,6 +219,7 @@ func (n *Network) advanceTU(tu *tuRun) {
 	}
 	dir := ch.DirFrom(from)
 	ch.AddRequired(dir, tu.value)
+	n.touchChannel(eid)
 	if ch.CanForward(dir, tu.value) {
 		n.lockAndHop(tu, ch, dir)
 		return
@@ -219,7 +240,7 @@ func (n *Network) advanceTU(tu *tuRun) {
 		tu.queuedAt.ch = ch
 		tu.queuedAt.dir = dir
 		n.queuedIndex[q] = tu
-		n.metrics.Add("tu_queued", 1)
+		n.metrics.AddHandle(n.mh.tuQueued, 1)
 		return
 	}
 	n.abortTU(tu, "no_funds")
@@ -228,7 +249,7 @@ func (n *Network) advanceTU(tu *tuRun) {
 // resumeQueued is called when a queued TU is dequeued for another attempt.
 func (n *Network) resumeQueued(tu *tuRun, ch *channel.Channel, dir channel.Direction) {
 	if tu.queued != nil {
-		n.metrics.Observe("queue_delay", n.engine.Now()-tu.queued.Enqueued)
+		n.metrics.ObserveHandle(n.mh.queueDelay, n.engine.Now()-tu.queued.Enqueued)
 		delete(n.queuedIndex, tu.queued)
 	}
 	tu.queued = nil
@@ -251,15 +272,15 @@ func (n *Network) lockAndHop(tu *tuRun, ch *channel.Channel, dir channel.Directi
 		n.abortTU(tu, "lock_race")
 		return
 	}
-	pre := htlc.NewPreimage(tu.id)
-	contract, err := htlc.Offer(htlc.LockHash(pre), tu.value, tu.tx.tx.Deadline)
+	n.touchChannel(ch.Edge) // the lock consumed processing-rate budget
+	contract, err := htlc.Offer(tu.hash, tu.value, tu.tx.tx.Deadline)
 	if err != nil {
 		panic(err) // value > 0 by construction
 	}
 	tu.chain = append(tu.chain, contract)
 	tu.lockedThrough++
 	tu.hop++
-	if _, err := n.engine.After(n.cfg.HopDelay, 3, func() { n.advanceTU(tu) }); err != nil {
+	if _, err := n.engine.After(n.cfg.HopDelay, 3, tu.advance); err != nil {
 		panic(err)
 	}
 }
@@ -270,9 +291,9 @@ func (n *Network) completeTU(tu *tuRun) {
 		return
 	}
 	tu.done = true
-	delete(tu.tx.live, tu)
+	tu.tx.removeLive(tu)
 	now := n.engine.Now()
-	pre := htlc.NewPreimage(tu.id)
+	pre := tu.pre
 	// Settle HTLCs recipient-backwards, moving funds on each channel.
 	for i := tu.lockedThrough - 1; i >= 0; i-- {
 		if err := tu.chain[i].Settle(pre, now); err != nil {
@@ -290,7 +311,8 @@ func (n *Network) completeTU(tu *tuRun) {
 		if err := ch.Settle(dir, tu.value); err != nil {
 			panic(err) // locked funds are tracked exactly
 		}
-		n.metrics.Add("fees", ch.Fee(dir, n.cfg.TFee)*tu.value)
+		n.touchChannel(eid) // the arrival feeds the next imbalance-price update
+		n.metrics.AddHandle(n.mh.fees, ch.Fee(dir, n.cfg.TFee)*tu.value)
 		n.drainQueue(ch, dir.Reverse()) // reverse direction gained funds
 	}
 	n.resolveTU(tu, true, "")
@@ -302,7 +324,7 @@ func (n *Network) abortTU(tu *tuRun, reason string) {
 		return
 	}
 	tu.done = true
-	delete(tu.tx.live, tu)
+	tu.tx.removeLive(tu)
 	if tu.queued != nil && tu.queuedAt.ch != nil {
 		tu.queuedAt.ch.RemoveQueued(tu.queuedAt.dir, tu.queued)
 		delete(n.queuedIndex, tu.queued)
@@ -343,10 +365,10 @@ func (n *Network) resolveTU(tu *tuRun, ok bool, reason string) {
 	}
 	run.remaining--
 	if ok {
-		n.metrics.Add("tu_completed", 1)
+		n.metrics.AddHandle(n.mh.tuCompleted, 1)
 	} else {
-		n.metrics.Add("tu_failed", 1)
-		n.metrics.Add("tu_failed_"+reason, 1)
+		n.metrics.AddHandle(n.mh.tuFailed, 1)
+		n.metrics.AddHandle(n.tuFailedReasonHandle(reason), 1)
 		if !run.failed {
 			run.failed = true
 			n.cancelTx(run)
@@ -357,16 +379,24 @@ func (n *Network) resolveTU(tu *tuRun, ok bool, reason string) {
 	}
 }
 
+// removeLive swap-removes a TU from the live registry.
+func (run *txRun) removeLive(tu *tuRun) {
+	last := len(run.live) - 1
+	moved := run.live[last]
+	run.live[tu.liveIdx] = moved
+	moved.liveIdx = tu.liveIdx
+	run.live[last] = nil
+	run.live = run.live[:last]
+}
+
 // cancelTx aborts a payment's remaining TUs (queued or pending; in-flight
 // locked TUs unwind too).
 func (n *Network) cancelTx(run *txRun) {
 	run.pending = nil
-	// Copy and order by TU id: abortTU mutates run.live, and map iteration
-	// order must not leak into simulation behavior.
-	live := make([]*tuRun, 0, len(run.live))
-	for tu := range run.live {
-		live = append(live, tu)
-	}
+	// Copy and order by TU id: abortTU mutates run.live, and the registry's
+	// swap-remove order must not leak into simulation behavior (the former
+	// map iteration was sorted the same way).
+	live := append([]*tuRun(nil), run.live...)
 	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
 	for _, tu := range live {
 		n.abortTU(tu, "sibling_failed")
@@ -383,7 +413,7 @@ func (n *Network) onDeadline(run *txRun) {
 	pendingCount := len(run.pending)
 	run.pending = nil
 	run.remaining -= pendingCount
-	n.metrics.Add("tu_failed", float64(pendingCount))
+	n.metrics.AddHandle(n.mh.tuFailed, float64(pendingCount))
 	n.cancelTx(run)
 	if run.remaining <= 0 {
 		n.finishTx(run)
@@ -397,18 +427,17 @@ func (n *Network) finishTx(run *txRun) {
 		return
 	}
 	run.finished = true
-	if run.deadline != nil {
-		run.deadline.Cancel()
-		run.deadline = nil
-	}
+	run.deadline.Cancel()
+	run.deadline = sim.Event{}
 	delete(n.txState, run.tx.ID)
+	n.unregisterTx(run)
 	now := n.engine.Now()
 	if !run.failed && now <= run.tx.Deadline+1e-9 {
-		n.metrics.Add("tx_completed", 1)
-		n.metrics.Add("value_completed", run.tx.Value)
-		n.metrics.Observe("tx_delay", now-run.tx.Arrival)
+		n.metrics.AddHandle(n.mh.txCompleted, 1)
+		n.metrics.AddHandle(n.mh.valueCompleted, run.tx.Value)
+		n.metrics.ObserveHandle(n.mh.txDelay, now-run.tx.Arrival)
 	} else {
-		n.metrics.Add("tx_failed", 1)
+		n.metrics.AddHandle(n.mh.txFailed, 1)
 	}
 }
 
@@ -443,80 +472,44 @@ func (n *Network) drainQueue(ch *channel.Channel, dir channel.Direction) {
 
 // onTauTick is the τ-periodic maintenance: price updates (eqs. 21-22),
 // stale marking and abort (congestion control), queue draining and probe-
-// based rate updates (eq. 26).
+// based rate updates (eq. 26). All working sets are incrementally
+// maintained (see tick.go): the channel sweep visits only dirty channels,
+// the probe loop walks the sorted pair registry and an id-sorted snapshot
+// of the active payments, and controller refresh dedup is a generation
+// stamp — each in the same deterministic order as the full-scan original.
 func (n *Network) onTauTick() {
 	now := n.engine.Now()
 	n.policy.OnTick(n)
-	for _, ch := range n.chans {
-		if ch.Closed() {
-			continue // queues already unwound at close; no prices to update
-		}
-		if n.usesPrices() {
-			ch.UpdatePrices(n.cfg.Kappa, n.cfg.Eta)
-		} else {
-			// Window/processing budgets still reset each τ.
-			ch.UpdatePrices(0, 0)
-		}
-		for _, dir := range []channel.Direction{channel.Fwd, channel.Rev} {
-			marked := ch.MarkStale(dir, now, n.cfg.QueueDelayThreshold)
-			for _, q := range marked {
-				n.metrics.Add("tu_marked", 1)
-				// The sender cancels marked packets (eq. 27 path).
-				if tu := n.findQueuedTU(q); tu != nil {
-					n.abortTU(tu, "marked")
-				}
-			}
-			n.drainQueue(ch, dir)
-		}
-	}
+	n.runChannelMaintenance(now)
 	if n.usesPrices() {
-		// Probes: refresh every cached pair's path prices (eq. 26).
-		// Deterministic order: sort the pairs.
-		pairs := make([]pairKey, 0, len(n.rateCtl))
-		for pair := range n.rateCtl {
-			pairs = append(pairs, pair)
+		// Probes: refresh every cached pair's path prices (eq. 26). Each
+		// controller is refreshed at most once per tick generation
+		// (RefillBudget grants rate·τ tokens; a double refresh would double
+		// the budget).
+		n.tickGen++
+		gen := n.tickGen
+		for _, pair := range n.pairList {
+			n.refreshController(n.rateCtl[pair], n.pathsFor[pair], gen)
 		}
-		sort.Slice(pairs, func(i, j int) bool {
-			if pairs[i].s != pairs[j].s {
-				return pairs[i].s < pairs[j].s
-			}
-			return pairs[i].e < pairs[j].e
-		})
-		// Each controller is refreshed at most once per tick (RefillBudget
-		// grants rate·τ tokens; a double refresh would double the budget).
-		refreshed := map[*routing.RateController]bool{}
-		refresh := func(rc *routing.RateController, paths []graph.Path) {
-			if rc == nil || refreshed[rc] || len(paths) == 0 {
-				return
-			}
-			refreshed[rc] = true
-			for i := 0; i < rc.NumPaths() && i < len(paths); i++ {
-				price := routing.PathPrice(paths[i], n.cfg.TFee, func(e graph.EdgeID, from graph.NodeID) float64 {
-					return n.chans[e].Price(n.chans[e].DirFrom(from))
-				})
-				rc.UpdateRate(i, price)
-				rc.RefillBudget(i, n.cfg.UpdateTau)
-			}
-		}
-		for _, pair := range pairs {
-			refresh(n.rateCtl[pair], n.pathsFor[pair])
-		}
-		ids := make([]int, 0, len(n.txState))
-		for id := range n.txState {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
 		// In-flight payments whose controller was superseded by a re-plan
 		// (topology mutation changed the pair's path count) keep receiving
 		// refills against their own planned path set; otherwise their
 		// pending TUs would starve on an empty budget until the deadline.
-		for _, id := range ids {
-			run := n.txState[id]
-			refresh(run.rc, run.paths)
+		ticking := n.sortTickSnapshot()
+		for _, run := range ticking {
+			n.refreshController(run.rc, run.paths, gen)
 		}
-		for _, id := range ids {
-			n.drainPending(n.txState[id])
+		// Payments can finish while the snapshot drains (a synchronous
+		// abort cascading through resolveTU); drainPending on a finished
+		// run is a harmless no-op, where the old map re-lookup by id would
+		// have dereferenced nil.
+		for _, run := range ticking {
+			n.drainPending(run)
 		}
+		// Drop the snapshot's references so the reused scratch never pins
+		// finished payments (and their path/TU state) past the tick.
+		clear(ticking)
+		n.tickTx = ticking[:0]
 	}
 }
 
@@ -527,7 +520,7 @@ func (n *Network) findQueuedTU(q *channel.QueuedTU) *tuRun {
 
 // failTx records an immediately failed payment (no route, etc.).
 func (n *Network) failTx(run *txRun, reason string) {
-	n.metrics.Add("tx_failed", 1)
-	n.metrics.Add("tx_failed_"+reason, 1)
+	n.metrics.AddHandle(n.mh.txFailed, 1)
+	n.metrics.AddHandle(n.txFailedReasonHandle(reason), 1)
 	_ = run
 }

@@ -227,6 +227,23 @@ type Network struct {
 	txState     map[int]*txRun
 	queuedIndex map[*channel.QueuedTU]*tuRun
 
+	// Interned metric handles and the incremental τ-tick registries (see
+	// tick.go): the sorted pair registry, the swap-remove active-payment
+	// registry with its reusable per-tick snapshot, the tick generation for
+	// controller refresh stamps, and the dirty-channel scheduling state.
+	mh       metricHandles
+	priceFn  func(graph.EdgeID, graph.NodeID) float64
+	pairList []pairKey
+	activeTx []*txRun
+	tickTx   []*txRun
+	tickGen  uint64
+
+	chanState  []uint8
+	dirtyChans []graph.EdgeID
+	tickHeap   edgeHeap
+	inTickPass bool
+	tickCursor graph.EdgeID
+
 	// Run bookkeeping: payments registered via ScheduleArrival/Arrive, so a
 	// dynamically driven run (no upfront trace) summarizes correctly.
 	genCount int
@@ -270,6 +287,8 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 		txState:     map[int]*txRun{},
 		queuedIndex: map[*channel.QueuedTU]*tuRun{},
 	}
+	n.initMetricHandles()
+	n.priceFn = n.priceOf
 	for i := 0; i < g.NumEdges(); i++ {
 		e := g.Edge(graph.EdgeID(i))
 		ch, err := channel.New(e.ID, e.U, e.V, e.CapFwd, e.CapRev)

@@ -16,6 +16,14 @@ import (
 type flashPolicy struct {
 	basePolicy
 	view *graph.Graph
+	// viewShape is the topology mutation stamp the snapshot graph was
+	// built under; while it matches, gossip rounds refresh the snapshot's
+	// capacities in place instead of rebuilding the graph. boot/bootShape
+	// are the same for the live-balance bootstrap view used before the
+	// first gossip round (and by post-snapshot joiners).
+	viewShape uint64
+	boot      *graph.Graph
+	bootShape uint64
 }
 
 // WantsTick: Flash refreshes its stale balance snapshot each gossip round.
@@ -24,7 +32,7 @@ func (flashPolicy) WantsTick() bool { return true }
 func (p *flashPolicy) OnTick(n *Network) {
 	// Source routers see balances only as fresh as the last gossip round;
 	// refresh the snapshot Flash plans against.
-	p.view = n.BalanceView()
+	p.view = n.RefreshBalanceView(p.view, &p.viewShape)
 }
 
 func (p *flashPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
@@ -32,10 +40,14 @@ func (p *flashPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocati
 		// Plan on the τ-stale gossip snapshot when available: the live view
 		// is used before the first refresh tick, and when an endpoint joined
 		// the network after the snapshot was taken (the joiner bootstraps
-		// from fresh gossip rather than a view that predates it).
+		// from fresh gossip rather than a view that predates it). The
+		// bootstrap view is cached separately from the gossip snapshot and
+		// refreshed in place, so a burst of pre-first-tick elephants does
+		// not rebuild the graph per payment.
 		view := p.view
 		if view == nil || int(tx.Sender) >= view.NumNodes() || int(tx.Recipient) >= view.NumNodes() {
-			view = n.BalanceView()
+			p.boot = n.RefreshBalanceView(p.boot, &p.bootShape)
+			view = p.boot
 		}
 		total, flows := view.MaxFlow(tx.Sender, tx.Recipient, tx.Value)
 		if total < tx.Value-1e-9 {
@@ -51,7 +63,7 @@ func (p *flashPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocati
 	}
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: routing.KSP, K: n.cfg.FlashMicePaths}
 	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
-		return n.PathFinder().KShortestPaths(tx.Sender, tx.Recipient, n.cfg.FlashMicePaths, graph.UnitWeight), nil
+		return n.PathFinder().KShortestPathsUnit(tx.Sender, tx.Recipient, n.cfg.FlashMicePaths), nil
 	})
 	if err != nil {
 		return nil, nil, err

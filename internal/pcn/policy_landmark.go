@@ -25,17 +25,34 @@ func (p *landmarkPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Alloc
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: n.cfg.NumPaths}
 	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
 		pf := n.PathFinder()
-		var out []graph.Path
-		for _, lm := range p.landmarks {
+		// One multi-target Dijkstra from the sender covers every
+		// sender-side detour head (and the direct path for a landmark that
+		// is itself an endpoint); only the landmark→recipient tails need
+		// their own traversals. Paths are identical to the former
+		// per-landmark single-target queries.
+		heads := make([]graph.NodeID, len(p.landmarks))
+		for i, lm := range p.landmarks {
 			if lm == tx.Sender || lm == tx.Recipient {
-				if pa, ok := pf.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); ok {
-					out = append(out, pa)
+				heads[i] = tx.Recipient
+			} else {
+				heads[i] = lm
+			}
+		}
+		headPaths := pf.UnitShortestPaths(tx.Sender, heads)
+		var out []graph.Path
+		for i, lm := range p.landmarks {
+			p1 := headPaths[i]
+			if lm == tx.Sender || lm == tx.Recipient {
+				if p1.Len() > 0 || tx.Sender == tx.Recipient {
+					out = append(out, p1)
 				}
 				continue
 			}
-			p1, ok1 := pf.ShortestPath(tx.Sender, lm, graph.UnitWeight)
-			p2, ok2 := pf.ShortestPath(lm, tx.Recipient, graph.UnitWeight)
-			if ok1 && ok2 {
+			if p1.Len() == 0 {
+				continue
+			}
+			p2, ok2 := pf.UnitShortestPath(lm, tx.Recipient)
+			if ok2 {
 				out = append(out, concatPaths(p1, p2))
 			}
 		}

@@ -41,7 +41,7 @@ func (n *Network) accessPath(from, to graph.NodeID) (graph.Path, bool) {
 	if from == to {
 		return graph.Path{Nodes: []graph.NodeID{from}}, true
 	}
-	return n.PathFinder().ShortestPath(from, to, graph.UnitWeight)
+	return n.PathFinder().UnitShortestPath(from, to)
 }
 
 // concatPaths joins a→b, b→c, c→d walks sharing their junction nodes.
@@ -61,6 +61,28 @@ func concatPaths(parts ...graph.Path) graph.Path {
 		out.Edges = append(out.Edges, p.Edges...)
 	}
 	return out
+}
+
+// RefreshBalanceView brings a previously built balance view up to date. While
+// the live topology's shape is unchanged since the view was built (*shape
+// still matches — the common case between gossip rounds), the channel ids in
+// the view are aligned with n.chans, so only the capacities are rewritten in
+// place: no graph rebuild, no allocations. On a shape change (channel
+// open/close, node churn) it falls back to a fresh BalanceView. The returned
+// view is value-identical to BalanceView() either way.
+func (n *Network) RefreshBalanceView(view *graph.Graph, shape *uint64) *graph.Graph {
+	if view == nil || *shape != n.g.Mutations() {
+		*shape = n.g.Mutations()
+		return n.BalanceView()
+	}
+	for i, ch := range n.chans {
+		fwd, rev := ch.Balance(0), ch.Balance(1)
+		if ch.Closed() {
+			fwd, rev = 0, 0
+		}
+		view.SetCapacity(graph.EdgeID(i), fwd, rev)
+	}
+	return view
 }
 
 // BalanceView snapshots the channels' current spendable balances into a

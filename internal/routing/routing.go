@@ -70,20 +70,20 @@ func SelectPaths(g *graph.Graph, src, dst graph.NodeID, k int, pt PathType) ([]g
 
 // SelectPathsWith is SelectPaths running on the caller's PathFinder scratch
 // state, so repeated selections (one per sender-recipient pair on a large
-// network) reuse the Dijkstra buffers. KSP, Heuristic and EDS run entirely
-// on the finder; EDW masks extracted paths by mutating capacities, so it
-// works on a private clone of the finder's graph per call.
+// network) reuse the Dijkstra buffers. All four path types run entirely on
+// the finder; EDW masks extracted paths through the finder's stamped edge
+// set, so no per-call graph clone is built.
 func SelectPathsWith(pf *graph.PathFinder, src, dst graph.NodeID, k int, pt PathType) ([]graph.Path, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("routing: k must be positive, got %d", k)
 	}
 	switch pt {
 	case KSP:
-		return pf.KShortestPaths(src, dst, k, graph.UnitWeight), nil
+		return pf.KShortestPathsUnit(src, dst, k), nil
 	case Heuristic:
 		return pf.HighestFundPaths(src, dst, k), nil
 	case EDW:
-		return pf.Graph().EdgeDisjointWidestPaths(src, dst, k), nil
+		return pf.EdgeDisjointWidestPaths(src, dst, k), nil
 	case EDS:
 		return pf.EdgeDisjointShortestPaths(src, dst, k), nil
 	default:
@@ -148,6 +148,9 @@ type RateController struct {
 	// budget is the remaining value each path may send this τ window;
 	// math.Inf(1) disables budgeting (window-only control, as in Spider).
 	budget []float64
+	// refreshMark is the τ-tick generation this controller was last
+	// refreshed in (see TryMarkRefreshed).
+	refreshMark uint64
 }
 
 // NewRateController creates a controller for k paths with the given initial
@@ -214,6 +217,21 @@ func (rc *RateController) UpdateRate(i int, pathPrice float64) {
 	if rc.rates[i] < rc.MinRate {
 		rc.rates[i] = rc.MinRate
 	}
+}
+
+// TryMarkRefreshed records that the controller is being refreshed in tick
+// generation gen and reports whether this is the first refresh of that
+// generation. The τ-probe loop visits a controller through every pair and
+// payment bound to it but must refill its budget exactly once per tick; the
+// generation stamp replaces the per-tick map[*RateController]bool the loop
+// used to allocate. Generations must start at 1 (the zero value marks
+// "never refreshed").
+func (rc *RateController) TryMarkRefreshed(gen uint64) bool {
+	if rc.refreshMark == gen {
+		return false
+	}
+	rc.refreshMark = gen
+	return true
 }
 
 // RefillBudget adds one τ window's worth of rate to path i's token bucket,

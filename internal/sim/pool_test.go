@@ -1,0 +1,262 @@
+package sim
+
+// Tests for the pooled event arena: slot reuse must never resurrect or
+// miscancel events (the generation counter is the guard), canceled events
+// must not occupy the heap until their fire time (the compaction
+// satellite), and the pooled 4-ary heap must execute in exactly the
+// (time, priority, seq) order of the container/heap implementation it
+// replaced — pinned here against a reference reimplementation.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// TestCancelAfterFireIsNoop: a handle to an event that already fired must
+// not cancel the slot's next occupant.
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	ev1, err := e.Schedule(1, 0, func() { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// The slot is now free; the next Schedule reuses it.
+	if _, err := e.Schedule(3, 0, func() { fired += 10 }); err != nil {
+		t.Fatal(err)
+	}
+	ev1.Cancel() // stale handle: generation mismatch, must be inert
+	e.Run(4)
+	if fired != 11 {
+		t.Fatalf("fired = %d, want 11 (stale Cancel killed the reused slot)", fired)
+	}
+}
+
+// TestCancelAfterCancelAndReuse: canceling twice across a slot reuse must
+// not touch the new occupant either.
+func TestCancelAfterCancelAndReuse(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	ev, err := e.Schedule(1, 0, func() { t.Fatal("canceled event ran") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	e.Run(2) // sweeps the canceled corpse, frees the slot
+	if _, err := e.Schedule(3, 0, func() { ran++ }); err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel() // stale: must not cancel the reused slot
+	e.Run(4)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+}
+
+// TestZeroEventCancel: the zero Event is a valid no-op handle.
+func TestZeroEventCancel(t *testing.T) {
+	var ev Event
+	ev.Cancel() // must not panic
+}
+
+// TestCanceledEventsCompacted is the heap-occupancy regression test: a
+// long-horizon run canceling most of its deadline events must not carry
+// the corpses in the heap until their fire times.
+func TestCanceledEventsCompacted(t *testing.T) {
+	e := NewEngine()
+	const n = 10000
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev, err := e.Schedule(1e6+float64(i), 0, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	for _, ev := range events[:n-10] {
+		ev.Cancel()
+	}
+	if live := e.PendingEvents(); live != 10 {
+		t.Fatalf("PendingEvents = %d, want 10", live)
+	}
+	// Compaction triggers when corpses outnumber live events, so occupancy
+	// must be bounded by ~2x the live count, not by the cancel count.
+	if occ := e.heapSlots(); occ > 2*10+1 {
+		t.Fatalf("heap occupancy = %d after canceling %d events, want <= %d", occ, n-10, 2*10+1)
+	}
+	// The survivors still run.
+	ran := 0
+	for i := 0; i < 10; i++ {
+		if _, err := e.Schedule(float64(i), 0, func() { ran++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run(2e6)
+	if ran != 10 || e.EventsRun() != 20 {
+		t.Fatalf("ran=%d eventsRun=%d, want 10/20", ran, e.EventsRun())
+	}
+}
+
+// TestSlotReuseAfterPop: pool churn (schedule, run, repeat) must keep the
+// arena small — slots freed by fired events are reused, not appended.
+func TestSlotReuseAfterPop(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 10; i++ {
+			if _, err := e.After(float64(i+1), 0, func() {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Run(e.Now() + 100)
+	}
+	if len(e.slots) > 32 {
+		t.Fatalf("arena grew to %d slots for a working set of 10", len(e.slots))
+	}
+}
+
+// --- reference engine: the pre-pool container/heap implementation ---
+
+type refEvent struct {
+	time     float64
+	priority int
+	seq      uint64
+	action   func()
+	canceled bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestPooledHeapMatchesContainerHeap drives the pooled engine and the
+// reference container/heap side by side through a randomized
+// schedule/cancel workload and requires the exact same execution order —
+// the (time, priority, seq) contract is total, so the 4-ary pooled heap
+// must not be distinguishable from the old implementation.
+func TestPooledHeapMatchesContainerHeap(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		e := NewEngine()
+		var gotOrder []int
+		var pooled []Event
+
+		var ref refHeap
+		var refSeq uint64
+		var wantOrder []int
+		var refs []*refEvent
+
+		const n = 3000
+		for i := 0; i < n; i++ {
+			id := i
+			at := float64(rng.Intn(500)) + rng.Float64()
+			prio := rng.Intn(3) - 1
+			ev, err := e.Schedule(at, prio, func() { gotOrder = append(gotOrder, id) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled = append(pooled, ev)
+			re := &refEvent{time: at, priority: prio, seq: refSeq, action: func() { wantOrder = append(wantOrder, id) }}
+			refSeq++
+			heap.Push(&ref, re)
+			refs = append(refs, re)
+
+			// Cancel a random earlier event now and then.
+			if i%7 == 3 {
+				j := rng.Intn(i + 1)
+				pooled[j].Cancel()
+				refs[j].canceled = true
+			}
+		}
+		e.Run(1e9)
+		for ref.Len() > 0 {
+			re := heap.Pop(&ref).(*refEvent)
+			if !re.canceled {
+				re.action()
+			}
+		}
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: executed %d events, reference executed %d", seed, len(gotOrder), len(wantOrder))
+		}
+		for i := range wantOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: order diverges at %d: got %d want %d", seed, i, gotOrder[i], wantOrder[i])
+			}
+		}
+	}
+}
+
+// TestPooledHeapNestedScheduling extends the pin to dynamically scheduled
+// follow-up events (the hop-delay pattern), where slot reuse interleaves
+// with execution.
+func TestPooledHeapNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	var chain func(id, depth int)
+	chain = func(id, depth int) {
+		order = append(order, id)
+		if depth < 4 {
+			if _, err := e.After(0.5, id%2, func() { chain(id*10, depth+1) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		id := i
+		if _, err := e.Schedule(float64(i), 0, func() { chain(id, 0) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run(100)
+	// 5 chains x 5 links.
+	if len(order) != 25 {
+		t.Fatalf("ran %d events, want 25", len(order))
+	}
+	// Deterministic: rerunning yields the same order.
+	e2 := NewEngine()
+	var order2 []int
+	var chain2 func(id, depth int)
+	chain2 = func(id, depth int) {
+		order2 = append(order2, id)
+		if depth < 4 {
+			if _, err := e2.After(0.5, id%2, func() { chain2(id*10, depth+1) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		id := i
+		if _, err := e2.Schedule(float64(i), 0, func() { chain2(id, 0) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e2.Run(100)
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+}

@@ -6,69 +6,59 @@
 // testnet; this engine is the Go substitute — every evaluation quantity
 // (TSR, normalized throughput, delay, queue occupancy) is an event-level
 // measurement here.
+//
+// The event queue is a pooled, index-addressed 4-ary min-heap: events live
+// in a slot arena reused through a free list, Schedule returns a value
+// handle (no per-event allocation, no interface{} boxing through
+// container/heap), and canceled events are compacted out of the heap when
+// they outnumber the live ones, so long-horizon runs that cancel most of
+// their deadline watchdogs do not carry the corpses to their fire times.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-	"math"
-	"sort"
-)
+import "fmt"
 
-// Event is a scheduled callback.
+// Event is a cancelable value handle to a scheduled event. The zero value
+// is inert: Cancel on it is a no-op. Handles stay safe after the event has
+// fired or been canceled — the slot generation counter makes a stale
+// Cancel a no-op instead of touching the slot's next occupant.
 type Event struct {
-	Time float64
-	// Priority breaks ties at equal times (lower runs first); sequence
-	// breaks remaining ties FIFO.
-	Priority int
-	Action   func()
-	seq      uint64
-	index    int
-	canceled bool
+	e   *Engine
+	idx int32
+	gen uint32
 }
 
 // Cancel prevents a scheduled event from running. Safe to call multiple
-// times.
-func (e *Event) Cancel() { e.canceled = true }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+// times, after the event fired, and on the zero Event.
+func (ev Event) Cancel() {
+	if ev.e != nil {
+		ev.e.cancel(ev.idx, ev.gen)
 	}
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority < h[j].Priority
-	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x interface{}) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// slot is one arena entry. A slot is live while its event is queued; on
+// release its generation bumps (invalidating outstanding handles) and the
+// index returns to the free list for reuse by a future Schedule.
+type slot struct {
+	time     float64
+	seq      uint64
+	action   func()
+	priority int
+	gen      uint32
+	canceled bool
 }
 
 // Engine is a single-threaded discrete-event simulator.
 type Engine struct {
-	now    float64
-	queue  eventHeap
-	seq    uint64
-	nRun   uint64
-	halted bool
+	now   float64
+	slots []slot
+	free  []int32 // released slot indices awaiting reuse
+	heap  []int32 // 4-ary min-heap of slot indices, ordered by (time, priority, seq)
+	// nCanceled counts canceled events still occupying the heap; when they
+	// exceed the live events, compact() sweeps them out in one pass.
+	nCanceled int
+	seq       uint64
+	nRun      uint64
+	halted    bool
 }
 
 // NewEngine returns an engine at time 0.
@@ -80,23 +70,172 @@ func (e *Engine) Now() float64 { return e.now }
 // EventsRun returns the number of events executed.
 func (e *Engine) EventsRun() uint64 { return e.nRun }
 
+// PendingEvents returns the number of live (scheduled, not canceled) events.
+func (e *Engine) PendingEvents() int { return len(e.heap) - e.nCanceled }
+
+// heapSlots returns the heap's current occupancy including canceled
+// corpses awaiting compaction or their fire time (tests pin the compaction
+// behavior through it).
+func (e *Engine) heapSlots() int { return len(e.heap) }
+
+// less orders heap entries by (time, priority, seq) — identical to the
+// pre-pool container/heap contract. seq makes the order total, so the heap
+// arity cannot leak into execution order.
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.time != sb.time {
+		return sa.time < sb.time
+	}
+	if sa.priority != sb.priority {
+		return sa.priority < sb.priority
+	}
+	return sa.seq < sb.seq
+}
+
+// siftUp restores the heap property from position i toward the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	moving := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(moving, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = moving
+}
+
+// siftDown restores the heap property from position i toward the leaves,
+// hole-style: parents shift up into the hole and the moving entry drops in
+// once no child precedes it.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	moving := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], moving) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = moving
+}
+
+// popHead removes the heap minimum. The caller owns the returned slot index
+// and must release it.
+func (e *Engine) popHead() int32 {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+// release returns a slot to the free list. The generation bump invalidates
+// every outstanding handle to the slot's previous occupant; dropping the
+// action lets the closure (and whatever payment state it captures) be
+// collected before the slot is reused.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.gen++
+	s.action = nil
+	e.free = append(e.free, idx)
+}
+
+// cancel marks a live event canceled. Stale handles (generation mismatch:
+// the event already fired or the slot was reused) are ignored.
+func (e *Engine) cancel(idx int32, gen uint32) {
+	if int(idx) >= len(e.slots) {
+		return
+	}
+	s := &e.slots[idx]
+	if s.gen != gen || s.canceled {
+		return
+	}
+	s.canceled = true
+	s.action = nil // release the closure now; the corpse may linger awhile
+	e.nCanceled++
+	if e.nCanceled*2 > len(e.heap) {
+		e.compact()
+	}
+}
+
+// compact sweeps canceled events out of the heap in one pass and restores
+// the heap property bottom-up. Without it, a long-horizon run that cancels
+// most of its deadline watchdogs (churn workloads) would carry every corpse
+// until its fire time — the pre-pool engine's leak.
+func (e *Engine) compact() {
+	keep := e.heap[:0]
+	for _, idx := range e.heap {
+		if e.slots[idx].canceled {
+			e.slots[idx].canceled = false
+			e.release(idx)
+		} else {
+			keep = append(keep, idx)
+		}
+	}
+	e.heap = keep
+	e.nCanceled = 0
+	if n := len(e.heap); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
+}
+
 // Schedule queues action at absolute time t (>= Now). It returns the event
-// handle for cancellation.
-func (e *Engine) Schedule(t float64, priority int, action func()) (*Event, error) {
+// handle for cancellation. The handle is a value: storing it does not pin
+// the event's memory, and the zero Event is a valid "no event" sentinel.
+func (e *Engine) Schedule(t float64, priority int, action func()) (Event, error) {
 	if t < e.now {
-		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
+		return Event{}, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
 	}
 	if action == nil {
-		return nil, fmt.Errorf("sim: nil action")
+		return Event{}, fmt.Errorf("sim: nil action")
 	}
-	ev := &Event{Time: t, Priority: priority, Action: action, seq: e.seq}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.time = t
+	s.priority = priority
+	s.seq = e.seq
+	s.action = action
+	s.canceled = false
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev, nil
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	return Event{e: e, idx: idx, gen: s.gen}, nil
 }
 
 // After queues action delay seconds from now.
-func (e *Engine) After(delay float64, priority int, action func()) (*Event, error) {
+func (e *Engine) After(delay float64, priority int, action func()) (Event, error) {
 	return e.Schedule(e.now+delay, priority, action)
 }
 
@@ -143,15 +282,19 @@ func (e *Engine) Halt() { e.halted = true }
 // in order.
 func (e *Engine) Run(horizon float64) float64 {
 	e.halted = false
-	for len(e.queue) > 0 && !e.halted {
+	for len(e.heap) > 0 && !e.halted {
 		// Peek before popping: a past-horizon event must survive for the
 		// next Run rather than being popped and dropped.
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
+		top := e.heap[0]
+		s := &e.slots[top]
+		if s.canceled {
+			e.popHead()
+			s.canceled = false
+			e.nCanceled--
+			e.release(top)
 			continue
 		}
-		if next.Time > horizon {
+		if s.time > horizon {
 			// Advance to the horizon, but never rewind: a Run with a
 			// horizon earlier than the current time is a no-op.
 			if horizon > e.now {
@@ -159,75 +302,17 @@ func (e *Engine) Run(horizon float64) float64 {
 			}
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		e.now = next.Time
+		t, action := s.time, s.action
+		e.popHead()
+		// Release before running: the action may schedule follow-ups that
+		// reuse this slot; the generation bump keeps stale handles inert.
+		e.release(top)
+		e.now = t
 		e.nRun++
-		next.Action()
+		action()
 	}
-	if e.now < horizon && len(e.queue) == 0 {
+	if e.now < horizon && len(e.heap) == 0 {
 		e.now = horizon
 	}
 	return e.now
-}
-
-// Metrics collects counters, gauges and histograms for an experiment run.
-// The zero value is ready to use.
-type Metrics struct {
-	counters map[string]float64
-	samples  map[string][]float64
-}
-
-// NewMetrics returns an empty registry.
-func NewMetrics() *Metrics {
-	return &Metrics{counters: map[string]float64{}, samples: map[string][]float64{}}
-}
-
-// Add increments counter name by v.
-func (m *Metrics) Add(name string, v float64) { m.counters[name] += v }
-
-// Counter returns the current value of a counter.
-func (m *Metrics) Counter(name string) float64 { return m.counters[name] }
-
-// Observe appends one sample to histogram name.
-func (m *Metrics) Observe(name string, v float64) {
-	m.samples[name] = append(m.samples[name], v)
-}
-
-// Quantile returns the q-quantile (0..1) of histogram name, or NaN when
-// empty.
-func (m *Metrics) Quantile(name string, q float64) float64 {
-	s := m.samples[name]
-	if len(s) == 0 {
-		return math.NaN()
-	}
-	sorted := append([]float64(nil), s...)
-	sort.Float64s(sorted)
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
-}
-
-// Mean returns the mean of histogram name, or NaN when empty.
-func (m *Metrics) Mean(name string) float64 {
-	s := m.samples[name]
-	if len(s) == 0 {
-		return math.NaN()
-	}
-	sum := 0.0
-	for _, v := range s {
-		sum += v
-	}
-	return sum / float64(len(s))
-}
-
-// Count returns the number of samples observed for name.
-func (m *Metrics) Count(name string) int { return len(m.samples[name]) }
-
-// CounterNames returns the sorted counter names (for reporting).
-func (m *Metrics) CounterNames() []string {
-	names := make([]string, 0, len(m.counters))
-	for n := range m.counters {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }

@@ -1,0 +1,106 @@
+package sim
+
+// Sim-core microbenchmarks: the per-event cost every simulated second pays.
+// These are the "sim-core" entries of the tracked bench suite (cmd/bench);
+// BENCH_*.json pins their allocs/op so a regression in the pooled event
+// queue or the metrics hot path fails CI.
+
+import "testing"
+
+// BenchmarkEngineScheduleRun measures the schedule→pop→run cycle: b.N events
+// through an engine in batches, the dominant pattern of a payment run (every
+// hop is one After + one pop).
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	action := func() {}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		t := e.Now()
+		for i := 0; i < batch && n < b.N; i++ {
+			if _, err := e.Schedule(t+float64(i%7)+1, i%3, action); err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		e.Run(t + 16)
+	}
+}
+
+// BenchmarkEngineCancelChurn measures the deadline-watchdog pattern of
+// long-horizon churn runs: most scheduled events are canceled before they
+// fire (payments finish before their deadline).
+func BenchmarkEngineCancelChurn(b *testing.B) {
+	e := NewEngine()
+	action := func() {}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		t := e.Now()
+		for i := 0; i < batch && n < b.N; i++ {
+			ev, err := e.Schedule(t+100, 0, action)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i%8 != 0 {
+				ev.Cancel() // 7 of 8 deadline events never fire
+			}
+			n++
+		}
+		e.Run(t + 200)
+	}
+}
+
+// BenchmarkEngineNestedTimers measures self-rescheduling event chains (the
+// τ-tick and hop-delay pattern): each event schedules its successor.
+func BenchmarkEngineNestedTimers(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			if _, err := e.After(1, 0, tick); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := e.Schedule(1, 0, tick); err != nil {
+		b.Fatal(err)
+	}
+	e.Run(float64(b.N) + 2)
+}
+
+// BenchmarkMetricsHot measures the per-hop metrics pattern: two counter adds
+// and one histogram observation per iteration, the exact mix of a settled
+// hop in payment.go (which resolves handles once, like here).
+func BenchmarkMetricsHot(b *testing.B) {
+	m := NewMetrics()
+	tuCompleted := m.CounterHandle("tu_completed")
+	fees := m.CounterHandle("fees")
+	queueDelay := m.SampleHandle("queue_delay")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AddHandle(tuCompleted, 1)
+		m.AddHandle(fees, 0.01)
+		m.ObserveHandle(queueDelay, float64(i%100)*0.001)
+	}
+}
+
+// BenchmarkMetricsStringAPI is the same mix through the name-based API
+// (one map hash per call) — the cost the handle interning removes.
+func BenchmarkMetricsStringAPI(b *testing.B) {
+	m := NewMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Add("tu_completed", 1)
+		m.Add("fees", 0.01)
+		m.Observe("queue_delay", float64(i%100)*0.001)
+	}
+}
