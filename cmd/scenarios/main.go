@@ -1,0 +1,269 @@
+// Command scenarios is the front end of the declarative scenario engine:
+// list the registered scenarios, describe their specs, run them (or a user
+// JSON spec file), and diff regenerated output against golden CSVs.
+//
+//	scenarios list
+//	scenarios describe fig7c
+//	scenarios run figchurn -out results -workers -1
+//	scenarios run -spec examples/scenarios/bursty-erdos-renyi.json
+//	scenarios run all -out results
+//	scenarios diff fig7c -golden internal/scenario/testdata/golden/fig7c.csv
+//
+// Registered scenarios reproduce the paper's figures and tables CSV-for-CSV
+// (cmd/experiments renders the same registry entries); a JSON spec file
+// turns a new topology × workload × dynamics × scheme combination into a
+// run without writing Go.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/splicer-pcn/splicer/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "describe":
+		err = describe(os.Args[2:])
+	case "run":
+		err = run(os.Args[2:])
+	case "diff":
+		err = diff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  scenarios list
+  scenarios describe <name>
+  scenarios run <name>[,<name>...]|all [-out dir] [-workers N] [-seeds N]
+  scenarios run -spec file.json [-out dir]
+  scenarios diff <name> [-golden file.csv] [-out dir]`)
+}
+
+func list() error {
+	fmt.Println("registered scenarios:")
+	for _, name := range scenario.Names() {
+		e, _ := scenario.Lookup(name)
+		fmt.Printf("  %-16s %s\n", name, e.Description)
+	}
+	fmt.Println("\nbuiltin assets (for spec files):", strings.Join(scenario.BuiltinAssets(), ", "))
+	return nil
+}
+
+// describeEntry is the JSON shape of `scenarios describe`.
+type describeEntry struct {
+	Name      string          `json:"name"`
+	Title     string          `json:"title"`
+	Kind      string          `json:"kind"`
+	Schemes   []string        `json:"schemes,omitempty"`
+	Axis      *scenario.Axis  `json:"axis,omitempty"`
+	Metric    scenario.Metric `json:"metric,omitempty"`
+	Omegas    []float64       `json:"omegas,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	SpecLarge json.RawMessage `json:"spec_large,omitempty"`
+}
+
+func kindName(k scenario.Kind) string {
+	switch k {
+	case scenario.KindFigure:
+		return "figure-sweep"
+	case scenario.KindChurn:
+		return "churn-panel"
+	case scenario.KindBalanceCost, scenario.KindTradeoff, scenario.KindHubCount, scenario.KindDelayOverhead:
+		return "placement-panel"
+	case scenario.KindStatic:
+		return "static-table"
+	case scenario.KindRoutingChoices:
+		return "routing-choices"
+	case scenario.KindSchemeTable:
+		return "scheme-table"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+func describe(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("describe takes exactly one scenario name")
+	}
+	e, ok := scenario.Lookup(args[0])
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (use list)", args[0])
+	}
+	out := describeEntry{
+		Name: e.Name, Title: e.Title, Kind: kindName(e.Kind),
+		Schemes: e.Schemes, Metric: e.Metric, Omegas: e.Omegas,
+	}
+	if len(e.Axis.Values) > 0 {
+		axis := e.Axis
+		out.Axis = &axis
+	}
+	if e.Kind != scenario.KindStatic {
+		spec, err := e.Base.JSON()
+		if err != nil {
+			return err
+		}
+		out.Spec = spec
+	}
+	if e.BaseLarge != nil {
+		spec, err := e.BaseLarge.JSON()
+		if err != nil {
+			return err
+		}
+		out.SpecLarge = spec
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	outDir := fs.String("out", "results", "output directory for CSV files")
+	workers := fs.Int("workers", 0, "sweep workers: 0/1 serial, N parallel, -1 all cores (identical results)")
+	seeds := fs.Int("seeds", 1, "seeds per sweep cell; points report the across-seed mean")
+	specPath := fs.String("spec", "", "run a JSON spec file instead of a registered scenario")
+	// Allow `run <name> -flags` and `run -flags <name>`.
+	var names []string
+	rest := args
+	if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		names = strings.Split(rest[0], ",")
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	opts := scenario.RunOptions{Workers: *workers}
+	if *seeds > 1 {
+		opts.SeedCount = *seeds
+	}
+	if *specPath != "" {
+		return runSpecFile(*specPath, *outDir, opts)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("run needs a scenario name, a comma list, 'all', or -spec file.json")
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = scenario.Names()
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		e, ok := scenario.Lookup(name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (use list)", name)
+		}
+		fmt.Fprintf(os.Stderr, "== running %s...\n", name)
+		table, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := writeCSV(*outDir, name, table.CSV()); err != nil {
+			return err
+		}
+		fmt.Println(table.Markdown())
+	}
+	return nil
+}
+
+func runSpecFile(path, outDir string, opts scenario.RunOptions) error {
+	spec, err := scenario.LoadSpec(path)
+	if err != nil {
+		return err
+	}
+	name := spec.Name
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		spec.Name = name
+	}
+	schemes := scenario.DefaultSchemes()
+	if spec.Scheme != "" {
+		schemes = []string{spec.Scheme}
+	}
+	fmt.Fprintf(os.Stderr, "== running spec %s (%s)...\n", name, path)
+	table, err := scenario.SchemeTable(spec, schemes, opts)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV(outDir, name, table.CSV()); err != nil {
+		return err
+	}
+	fmt.Println(table.Markdown())
+	return nil
+}
+
+func diff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	golden := fs.String("golden", "", "golden CSV to compare against (default internal/scenario/testdata/golden/<name>.csv)")
+	outDir := fs.String("out", "results", "where to write the regenerated CSV on mismatch")
+	workers := fs.Int("workers", -1, "sweep workers (identical results for any value)")
+	var name string
+	rest := args
+	if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		name = rest[0]
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("diff needs a scenario name")
+	}
+	e, ok := scenario.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (use list)", name)
+	}
+	goldenPath := *golden
+	if goldenPath == "" {
+		goldenPath = filepath.Join("internal", "scenario", "testdata", "golden", name+".csv")
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return err
+	}
+	table, err := e.Run(scenario.RunOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	got := table.CSV()
+	if got == string(want) {
+		fmt.Printf("%s: byte-identical to %s\n", name, goldenPath)
+		return nil
+	}
+	if err := writeCSV(*outDir, name+".got", got); err != nil {
+		return err
+	}
+	return fmt.Errorf("%s diverged from %s; regenerated CSV at %s",
+		name, goldenPath, filepath.Join(*outDir, name+".got.csv"))
+}
+
+func writeCSV(dir, name, csv string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(csv), 0o644)
+}

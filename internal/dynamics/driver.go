@@ -95,6 +95,9 @@ func NewDriver(net *pcn.Network, src *rng.Source, cfg Config) (*Driver, error) {
 // inspection).
 func (d *Driver) Timeline() []Event { return d.timeline }
 
+// Network returns the driven network, e.g. for post-run invariant checks.
+func (d *Driver) Network() *pcn.Network { return d.net }
+
 // Log returns the applied-event log in application order.
 func (d *Driver) Log() []Applied { return d.applied }
 

@@ -3,27 +3,23 @@
 // motivation (channels deplete, demand shifts, nodes come and go) is
 // dynamic, so this panel measures what the static figures cannot: how each
 // scheme's TSR and delay degrade with churn rate, and how much of the
-// degradation online hub re-placement (Network.RePlaceHubs every
-// ChurnReplaceInterval) buys back for Splicer.
+// degradation online hub re-placement buys back for Splicer. The panel runs
+// on the scenario engine's churn runner.
 
 package experiments
 
 import (
 	"fmt"
 
-	"github.com/splicer-pcn/splicer/internal/dynamics"
 	"github.com/splicer-pcn/splicer/internal/pcn"
-	"github.com/splicer-pcn/splicer/internal/rng"
-	"github.com/splicer-pcn/splicer/internal/sweep"
-	"github.com/splicer-pcn/splicer/internal/topology"
-	"github.com/splicer-pcn/splicer/internal/workload"
+	"github.com/splicer-pcn/splicer/internal/scenario"
 )
 
 // ChurnRateSweep is the x-axis: the rate (events/sec) of each structural
 // churn process — node joins, node leaves, spontaneous channel opens and
 // closes. 0 is the no-churn reference (topology static, demand still
 // diurnal and drifting).
-var ChurnRateSweep = []float64{0, 0.5, 1, 2, 4}
+var ChurnRateSweep = scenario.ChurnRateGrid()
 
 // ChurnSchemes is the full six-scheme comparison: the paper's five plus the
 // naive shortest-path baseline.
@@ -37,137 +33,31 @@ var ChurnSchemes = []pcn.Scheme{
 }
 
 // ChurnOnlineLabel names the Splicer-with-online-re-placement series.
-const ChurnOnlineLabel = "Splicer(online)"
+const ChurnOnlineLabel = scenario.OnlineLabel
 
 // ChurnReplaceInterval is how often the online variant re-runs placement.
-const ChurnReplaceInterval = 1.0
+const ChurnReplaceInterval = scenario.OnlineReplaceInterval
 
 // Churn returns the dynamic-network scenario: the small-scale network under
 // moderate demand, evolved for 8 seconds of churn, depletion repair, and
 // drifting diurnal demand.
 func Churn() Scenario {
-	s := SmallScale()
-	s.Name = "churn"
-	s.Seed = 4
-	s.Rate = 100
-	s.Duration = 8
-	return s
-}
-
-// dynConfig maps the scenario onto a dynamics configuration with every
-// structural process running at churnRate events/sec.
-func (s Scenario) dynConfig(churnRate float64) dynamics.Config {
-	dyn := dynamics.NewConfig(s.Duration)
-	dyn.JoinRate = churnRate
-	dyn.LeaveRate = churnRate
-	dyn.OpenRate = churnRate
-	dyn.CloseRate = churnRate
-	dyn.TopUpRate = churnRate
-	dyn.ChannelScale = s.ChannelScale
-	dyn.Rate = s.Rate
-	dyn.ValueScale = s.ValueScale
-	dyn.ZipfSkew = s.ZipfSkew
-	dyn.Timeout = s.Timeout
-	return dyn
-}
-
-// churnCell packages one dynamic-network run as a sweep cell: the Run hook
-// builds a private graph, network and driver, so cells parallelize exactly
-// like static cells. The graph derives from the same seed splits as
-// Scenario.Build; the driver draws from an unused split, so the x=0 topology
-// matches the static scenario's bit-for-bit.
-func (s Scenario) churnCell(scheme pcn.Scheme, label string, x float64, dyn dynamics.Config) sweep.Cell {
-	seed := s.Seed
-	return sweep.Cell{
-		Scheme: scheme,
-		Seed:   seed,
-		Axis:   "churn_rate",
-		X:      x,
-		Label:  label,
-		Run: func() (pcn.Result, error) {
-			src := rng.New(seed)
-			sizes := workload.NewChannelSizeDist(src.Split(1), s.ChannelScale)
-			g, err := topology.WattsStrogatz(src.Split(2), s.Nodes, s.WSDegree, s.WSBeta, sizes.CapacityFunc())
-			if err != nil {
-				return pcn.Result{}, fmt.Errorf("experiments: topology: %w", err)
-			}
-			cfg := pcn.NewConfig(scheme)
-			cfg.NumHubCandidates = s.HubCandidates
-			n, err := pcn.NewNetwork(g, cfg)
-			if err != nil {
-				return pcn.Result{}, err
-			}
-			d, err := dynamics.NewDriver(n, src.Split(4), dyn)
-			if err != nil {
-				return pcn.Result{}, err
-			}
-			return d.Run()
-		},
-	}
-}
-
-// churnVariant is one line of the churn panel.
-type churnVariant struct {
-	scheme  pcn.Scheme
-	label   string // aggregation label; "" for the plain scheme
-	name    string // series name
-	replace bool
-}
-
-func churnVariants() []churnVariant {
-	var out []churnVariant
-	for _, sc := range ChurnSchemes {
-		out = append(out, churnVariant{scheme: sc, name: sc.String()})
-	}
-	out = append(out, churnVariant{
-		scheme: pcn.SchemeSplicer, label: "online", name: ChurnOnlineLabel, replace: true,
-	})
-	return out
+	return fromSpec(scenario.ChurnSpec())
 }
 
 // FigChurn runs the churn panel: TSR and mean delay vs churn rate for the
-// six schemes plus Splicer with online re-placement, on the sweep engine.
-// Cell order is fixed (x-major, then variant, then seed), so the output is
-// byte-identical for any worker count.
+// six schemes plus Splicer with online re-placement, on the scenario
+// engine. Cell order is fixed (x-major, then variant, then seed), so the
+// output is byte-identical for any worker count.
 func FigChurn(base Scenario) (tsr, delay []Series, err error) {
-	variants := churnVariants()
-	var cells []sweep.Cell
-	for _, x := range ChurnRateSweep {
-		for _, v := range variants {
-			for _, seed := range base.seedList() {
-				scen := base
-				scen.Seed = seed
-				dyn := scen.dynConfig(x)
-				if v.replace {
-					dyn.ReplaceInterval = ChurnReplaceInterval
-				}
-				cells = append(cells, scen.churnCell(v.scheme, v.label, x, dyn))
-			}
-		}
-	}
-	results := sweep.Run(cells, base.workerCount())
-	if err := sweep.FirstErr(results); err != nil {
+	spec := base.Spec()
+	// The dynamics driver owns the demand process; the static generator's
+	// circulation knob does not apply (and the churn runner never used it).
+	spec.Workload.CirculationFraction = 0
+	spec.Dynamics = &scenario.DynamicsSpec{}
+	tsr, delay, err = scenario.RunChurnPanel(spec, ChurnRateSweep, schemeNames(ChurnSchemes), base.runOptions())
+	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: %w", err)
-	}
-	type key struct {
-		scheme pcn.Scheme
-		label  string
-		x      float64
-	}
-	byKey := map[key]sweep.Summary{}
-	for _, s := range sweep.Aggregate(results) {
-		byKey[key{s.Scheme, s.Label, s.X}] = s
-	}
-	tsr = make([]Series, len(variants))
-	delay = make([]Series, len(variants))
-	for vi, v := range variants {
-		tsr[vi].Name = v.name
-		delay[vi].Name = v.name
-		for _, x := range ChurnRateSweep {
-			s := byKey[key{v.scheme, v.label, x}]
-			tsr[vi].Points = append(tsr[vi].Points, Point{X: x, Y: s.TSR.Mean})
-			delay[vi].Points = append(delay[vi].Points, Point{X: x, Y: s.MeanDelay.Mean})
-		}
 	}
 	return tsr, delay, nil
 }
@@ -175,25 +65,5 @@ func FigChurn(base Scenario) (tsr, delay []Series, err error) {
 // ChurnTable renders the churn panel: one row per churn rate, TSR and delay
 // columns per variant.
 func ChurnTable(title string, tsr, delay []Series) Table {
-	t := Table{Title: title, Header: []string{"churn_rate"}}
-	for _, s := range tsr {
-		t.Header = append(t.Header, s.Name+" TSR")
-	}
-	for _, s := range delay {
-		t.Header = append(t.Header, s.Name+" delay(s)")
-	}
-	if len(tsr) == 0 {
-		return t
-	}
-	for i, p := range tsr[0].Points {
-		row := []string{fmt.Sprintf("%g", p.X)}
-		for _, s := range tsr {
-			row = append(row, fmt.Sprintf("%.4f", s.Points[i].Y))
-		}
-		for _, s := range delay {
-			row = append(row, fmt.Sprintf("%.4f", s.Points[i].Y))
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	return t
+	return scenario.ChurnTable(title, tsr, delay)
 }

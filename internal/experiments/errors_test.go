@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/pcn"
+)
+
+// These tests pin the error-propagation satellite: every failure on the
+// scenario construction path — topology generator, workload generator,
+// placement instance — must surface through the public figure/table
+// runners rather than being swallowed into an empty or partial result.
+
+func TestTopologyErrorsPropagate(t *testing.T) {
+	bad := tinyScenario()
+	bad.WSDegree = 7 // Watts-Strogatz requires an even degree
+	if _, _, err := bad.Build(); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("Build: err = %v, want topology error", err)
+	}
+	if _, err := FigChannelSize(bad); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("FigChannelSize: err = %v, want topology error", err)
+	}
+	if _, err := FigBalanceCost(bad); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("FigBalanceCost: err = %v, want topology error", err)
+	}
+	if _, err := FigDelayOverhead(bad); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("FigDelayOverhead: err = %v, want topology error", err)
+	}
+	if _, err := TableII(bad, bad, TableIIOptions{SkipLarge: true, PathNumbers: []int{3}, Schedulers: []string{"LIFO"}}); err == nil {
+		t.Fatal("TableII swallowed a topology error")
+	}
+	if _, _, err := FigChurn(bad); err == nil {
+		t.Fatal("FigChurn swallowed a topology error")
+	}
+}
+
+func TestWorkloadErrorsPropagate(t *testing.T) {
+	bad := tinyScenario()
+	bad.Rate = 0.0001
+	bad.Duration = 0.001 // empty trace: workload.Generate errors
+	if _, _, err := bad.Build(); err == nil || !strings.Contains(err.Error(), "workload") {
+		t.Fatalf("Build: err = %v, want workload error", err)
+	}
+	if _, err := FigUpdateTime(bad); err == nil {
+		t.Fatal("FigUpdateTime swallowed a workload error")
+	}
+	if _, err := bad.RunScheme(pcn.SchemeShortestPath, nil); err == nil {
+		t.Fatal("RunScheme swallowed a workload error")
+	}
+}

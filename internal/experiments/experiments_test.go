@@ -262,8 +262,8 @@ func TestTableIIReduced(t *testing.T) {
 
 func TestSeriesTable(t *testing.T) {
 	tab := SeriesTable("t", "x", []Series{
-		{Name: "a", Points: []Point{{1, 0.5}, {2, 0.6}}},
-		{Name: "b", Points: []Point{{1, 0.7}, {2, 0.8}}},
+		{Name: "a", Points: []Point{{X: 1, Y: 0.5}, {X: 2, Y: 0.6}}},
+		{Name: "b", Points: []Point{{X: 1, Y: 0.7}, {X: 2, Y: 0.8}}},
 	})
 	if len(tab.Rows) != 2 || tab.Header[1] != "a" || tab.Header[2] != "b" {
 		t.Fatalf("table: %+v", tab)

@@ -2,420 +2,109 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
-	"github.com/splicer-pcn/splicer/internal/graph"
-	"github.com/splicer-pcn/splicer/internal/pcn"
-	"github.com/splicer-pcn/splicer/internal/placement"
-	"github.com/splicer-pcn/splicer/internal/rng"
-	"github.com/splicer-pcn/splicer/internal/sweep"
-	"github.com/splicer-pcn/splicer/internal/topology"
-	"github.com/splicer-pcn/splicer/internal/workload"
+	"github.com/splicer-pcn/splicer/internal/scenario"
 )
 
-// Default sweep grids (figure x-axes).
+// Default sweep grids (figure x-axes). These are package variables so tests
+// and benchmarks can trim them; the canonical values live in the scenario
+// registry.
 var (
 	// ChannelScaleSweep multiplies the LN channel-size distribution
 	// (Fig. 7a/8a's "influence of the channel size").
-	ChannelScaleSweep = []float64{0.25, 0.5, 1, 2, 4}
+	ChannelScaleSweep = scenario.ChannelScaleGrid()
 	// ValueScaleSweep multiplies transaction values (Fig. 7b/8b).
-	ValueScaleSweep = []float64{0.5, 1, 2, 4, 8}
+	ValueScaleSweep = scenario.ValueScaleGrid()
 	// TauSweepMs is the update-time sweep in milliseconds (Fig. 7c/d, 8c/d).
-	TauSweepMs = []float64{100, 200, 400, 600, 800, 1000}
+	TauSweepMs = scenario.TauGridMs()
 	// NodeCountSweep is the |V| grid for the FigScale scaling panel
 	// (Watts–Strogatz networks from 2k to 10k nodes).
-	NodeCountSweep = []float64{2000, 4000, 6000, 8000, 10000}
+	NodeCountSweep = scenario.NodeCountGrid()
+	// OmegaSweep is the weight grid for the Fig. 9 placement evaluation.
+	OmegaSweep = scenario.OmegaGrid()
 )
 
-// metric selects which Result field a sweep reports.
-type metric int
-
-const (
-	metricTSR metric = iota + 1
-	metricThroughput
-)
-
-func (m metric) of(s sweep.Summary) float64 {
-	if m == metricThroughput {
-		return s.Throughput.Mean
-	}
-	return s.TSR.Mean
-}
-
-// sweepFigure runs all schemes over a scenario mutation grid on the sweep
-// engine: every (x, scheme, seed) cell becomes an independent simulation on
-// the scenario's worker pool, and each figure point is the across-seed mean.
-// Cell order is fixed (x-major, then scheme, then seed) and aggregation
-// folds in that order, so the series are identical for any worker count.
-func sweepFigure(base Scenario, axis string, xs []float64, m metric, apply func(Scenario, float64) (Scenario, func(*pcn.Config))) ([]Series, error) {
-	var cells []sweep.Cell
-	for _, x := range xs {
-		scen, mutate := apply(base, x)
-		for _, scheme := range Schemes {
-			for _, seed := range scen.seedList() {
-				cell := scen
-				cell.Seed = seed
-				cells = append(cells, cell.Cell(scheme, axis, x, "", mutate))
-			}
-		}
-	}
-	results := sweep.Run(cells, base.workerCount())
-	if err := sweep.FirstErr(results); err != nil {
+// runFigure fans the scenario's scheme × x × seed grid onto the engine.
+func runFigure(base Scenario, param string, xs []float64, metric scenario.Metric) ([]Series, error) {
+	series, err := scenario.RunFigure(base.Spec(), scenario.Axis{Param: param, Values: xs},
+		schemeNames(Schemes), metric, base.runOptions())
+	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	byKey := map[figKey]sweep.Summary{}
-	for _, s := range sweep.Aggregate(results) {
-		byKey[figKey{s.Scheme, s.X}] = s
-	}
-	out := make([]Series, len(Schemes))
-	for si, scheme := range Schemes {
-		out[si].Name = scheme.String()
-		for _, x := range xs {
-			out[si].Points = append(out[si].Points, Point{X: x, Y: m.of(byKey[figKey{scheme, x}])})
-		}
-	}
-	return out, nil
-}
-
-// figKey addresses one figure point in the aggregated sweep output.
-type figKey struct {
-	scheme pcn.Scheme
-	x      float64
+	return series, nil
 }
 
 // FigChannelSize is Fig. 7(a) (small) / Fig. 8(a) (large): TSR vs channel
 // size scale.
 func FigChannelSize(base Scenario) ([]Series, error) {
-	return sweepFigure(base, "channel_scale", ChannelScaleSweep, metricTSR, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
-		s.ChannelScale = x
-		return s, nil
-	})
+	return runFigure(base, "channel_scale", ChannelScaleSweep, scenario.MetricTSR)
 }
 
 // FigTxnSize is Fig. 7(b) / 8(b): TSR vs transaction size scale.
 func FigTxnSize(base Scenario) ([]Series, error) {
-	return sweepFigure(base, "value_scale", ValueScaleSweep, metricTSR, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
-		s.ValueScale = x
-		return s, nil
-	})
+	return runFigure(base, "value_scale", ValueScaleSweep, scenario.MetricTSR)
 }
 
 // FigUpdateTime is Fig. 7(c) / 8(c): TSR vs update time τ (ms).
 func FigUpdateTime(base Scenario) ([]Series, error) {
-	return sweepFigure(base, "tau_ms", TauSweepMs, metricTSR, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
-		return s, func(c *pcn.Config) { c.UpdateTau = x / 1000 }
-	})
+	return runFigure(base, "tau_ms", TauSweepMs, scenario.MetricTSR)
 }
 
 // FigThroughput is Fig. 7(d) / 8(d): normalized throughput vs update time.
 func FigThroughput(base Scenario) ([]Series, error) {
-	return sweepFigure(base, "tau_ms", TauSweepMs, metricThroughput, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
-		return s, func(c *pcn.Config) { c.UpdateTau = x / 1000 }
-	})
+	return runFigure(base, "tau_ms", TauSweepMs, scenario.MetricThroughput)
 }
 
 // FigScale is the Fig. 9-style scaling panel: normalized throughput vs
-// network size |V|, all schemes, on the Scale scenario. It exercises the
-// path-computation layer end-to-end — every cell builds a fresh 2k–10k-node
-// graph whose route planning funnels through PathFinder and the RouteCache.
+// network size |V|, all schemes, on the Scale scenario.
 func FigScale(base Scenario) ([]Series, error) {
-	return sweepFigure(base, "nodes", NodeCountSweep, metricThroughput, func(s Scenario, x float64) (Scenario, func(*pcn.Config)) {
-		s.Nodes = int(x)
-		return s, nil
-	})
-}
-
-// OmegaSweep is the weight grid for the Fig. 9 placement evaluation.
-var OmegaSweep = []float64{0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12}
-
-// placementInstance builds the placement instance of a scenario: the
-// candidate list comes from the voting excellence proxy (top degree), all
-// other nodes are clients.
-func placementInstance(s Scenario, omega float64) (*placement.Instance, error) {
-	src := rng.New(s.Seed)
-	sizes := workload.NewChannelSizeDist(src.Split(1), s.ChannelScale)
-	g, err := topology.WattsStrogatz(src.Split(2), s.Nodes, s.WSDegree, s.WSBeta, sizes.CapacityFunc())
-	if err != nil {
-		return nil, err
-	}
-	cands := topology.TopDegreeNodes(g, s.HubCandidates)
-	candSet := map[graph.NodeID]bool{}
-	for _, c := range cands {
-		candSet[c] = true
-	}
-	var clients []graph.NodeID
-	for i := 0; i < g.NumNodes(); i++ {
-		if !candSet[graph.NodeID(i)] {
-			clients = append(clients, graph.NodeID(i))
-		}
-	}
-	return placement.NewInstanceFromGraph(g, clients, cands, omega)
-}
-
-// solveBoth returns the approximation plan and (when the candidate set is
-// small enough) the exact plan.
-func solveBoth(inst *placement.Instance) (approx placement.Plan, exact placement.Plan, haveExact bool, err error) {
-	approx, err = inst.SolveDoubleGreedy(nil)
-	if err != nil {
-		return placement.Plan{}, placement.Plan{}, false, err
-	}
-	if len(inst.Candidates) <= 16 {
-		exact, err = inst.SolveExhaustive()
-		if err != nil {
-			return placement.Plan{}, placement.Plan{}, false, err
-		}
-		return approx, exact, true, nil
-	}
-	return approx, placement.Plan{}, false, nil
+	return runFigure(base, "nodes", NodeCountSweep, scenario.MetricThroughput)
 }
 
 // FigBalanceCost is Fig. 9(a): average balance cost vs ω, model
 // (approximation) vs optimal.
 func FigBalanceCost(base Scenario) ([]Series, error) {
-	model := Series{Name: "model"}
-	optimal := Series{Name: "optimal"}
-	for _, omega := range OmegaSweep {
-		inst, err := placementInstance(base, omega)
-		if err != nil {
-			return nil, err
-		}
-		approx, exact, haveExact, err := solveBoth(inst)
-		if err != nil {
-			return nil, err
-		}
-		model.Points = append(model.Points, Point{X: omega, Y: approx.TotalCost})
-		if haveExact {
-			optimal.Points = append(optimal.Points, Point{X: omega, Y: exact.TotalCost})
-		}
-	}
-	out := []Series{model}
-	if len(optimal.Points) > 0 {
-		out = append(out, optimal)
-	}
-	return out, nil
+	return scenario.BalanceCostSeries(base.Spec(), OmegaSweep)
 }
 
 // TradeoffPoint is one annotated point of Fig. 9(b).
-type TradeoffPoint struct {
-	Omega    float64
-	MgmtCost float64
-	SyncCost float64
-	NumHubs  int
-}
+type TradeoffPoint = scenario.TradeoffPoint
 
 // FigCostTradeoff is Fig. 9(b): the management-vs-synchronization cost
 // curve, annotated with (ω, number of smooth nodes).
 func FigCostTradeoff(base Scenario) ([]TradeoffPoint, error) {
-	var out []TradeoffPoint
-	for _, omega := range OmegaSweep {
-		inst, err := placementInstance(base, omega)
-		if err != nil {
-			return nil, err
-		}
-		plan, err := bestPlan(inst)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, TradeoffPoint{
-			Omega:    omega,
-			MgmtCost: plan.MgmtCost,
-			SyncCost: plan.SyncCost,
-			NumHubs:  plan.NumPlaced(),
-		})
-	}
-	return out, nil
-}
-
-func bestPlan(inst *placement.Instance) (placement.Plan, error) {
-	if len(inst.Candidates) <= 16 {
-		return inst.SolveExhaustive()
-	}
-	return inst.SolveDoubleGreedy(nil)
+	return scenario.CostTradeoff(base.Spec(), OmegaSweep)
 }
 
 // FigHubCount is Fig. 9(c) (small) / 9(d) (large): the number of smooth
 // nodes placed for each weight ω.
 func FigHubCount(base Scenario) (Series, error) {
-	s := Series{Name: base.Name}
-	for _, omega := range OmegaSweep {
-		inst, err := placementInstance(base, omega)
-		if err != nil {
-			return Series{}, err
-		}
-		plan, err := bestPlan(inst)
-		if err != nil {
-			return Series{}, err
-		}
-		s.Points = append(s.Points, Point{X: omega, Y: float64(plan.NumPlaced())})
-	}
-	return s, nil
+	return scenario.HubCount(base.Spec(), OmegaSweep)
 }
 
 // DelayOverheadPoint is one point of Fig. 9(e/f): average transaction delay
 // vs total traffic overhead, with or without PCHs.
-type DelayOverheadPoint struct {
-	Omega    float64 // 0 for the "without PCHs" reference
-	WithPCH  bool
-	DelayMs  float64
-	Overhead float64
-}
+type DelayOverheadPoint = scenario.DelayOverheadPoint
 
-// perHopDelayMs is the modeled per-hop communication latency for the
-// Fig. 9(e/f) analytical curves.
-const perHopDelayMs = 20
-
-// FigDelayOverhead is Fig. 9(e) / 9(f): iterate ω, compute the average
-// payment delay (client → hub → hub → client path hops × per-hop latency)
-// and the total communication overhead (management + synchronization cost
-// mass); compare against the source-routing reference without PCHs, where
-// every sender maintains the full topology.
+// FigDelayOverhead is Fig. 9(e) / 9(f): average payment delay vs total
+// communication overhead under the placement plan, against the
+// source-routing reference without PCHs.
 func FigDelayOverhead(base Scenario) ([]DelayOverheadPoint, error) {
-	src := rng.New(base.Seed)
-	sizes := workload.NewChannelSizeDist(src.Split(1), base.ChannelScale)
-	g, err := topology.WattsStrogatz(src.Split(2), base.Nodes, base.WSDegree, base.WSBeta, sizes.CapacityFunc())
-	if err != nil {
-		return nil, err
-	}
-	cands := topology.TopDegreeNodes(g, base.HubCandidates)
-	candSet := map[graph.NodeID]bool{}
-	for _, c := range cands {
-		candSet[c] = true
-	}
-	var clients []graph.NodeID
-	for i := 0; i < g.NumNodes(); i++ {
-		if !candSet[graph.NodeID(i)] {
-			clients = append(clients, graph.NodeID(i))
-		}
-	}
-	hopsFrom := make([][]int, len(cands))
-	for i, c := range cands {
-		hopsFrom[i] = g.BFSHops(c)
-	}
-
-	var out []DelayOverheadPoint
-	for _, omega := range OmegaSweep {
-		inst, err := placement.NewInstanceFromGraph(g, clients, cands, omega)
-		if err != nil {
-			return nil, err
-		}
-		plan, err := bestPlan(inst)
-		if err != nil {
-			return nil, err
-		}
-		placed := plan.PlacedCandidates()
-		// Average client→hub hop count under the plan's assignment.
-		totalAccess := 0.0
-		for m, hubIdx := range plan.Assign {
-			totalAccess += float64(hopsFrom[hubIdx][clients[m]])
-		}
-		meanAccess := totalAccess / float64(len(clients))
-		// Average hub→hub hop count.
-		meanHubHub := 0.0
-		if len(placed) > 1 {
-			total, pairs := 0.0, 0
-			for _, a := range placed {
-				for _, b := range placed {
-					if a != b {
-						total += float64(hopsFrom[a][cands[b]])
-						pairs++
-					}
-				}
-			}
-			meanHubHub = total / float64(pairs)
-		}
-		// A payment crosses: sender→hub, hub⇝hub, hub→recipient.
-		delay := (2*meanAccess + meanHubHub) * perHopDelayMs
-		overhead := plan.MgmtCost + plan.SyncCost
-		out = append(out, DelayOverheadPoint{Omega: omega, WithPCH: true, DelayMs: delay, Overhead: overhead})
-	}
-	// Without PCHs: every sender source-routes. The per-payment delay has
-	// three components the PCH side avoids: (i) the sender must probe its
-	// candidate paths end-to-end before committing rates/amounts (a probe
-	// round trip of 2×hops), (ii) the payment itself (hops), and (iii) the
-	// sender-side route computation over the full topology. PCHs instead
-	// decide from the epoch-synchronized global state and send immediately
-	// (§III-C's management-cost motivation). Overhead: every node maintains
-	// the full topology via gossip, costing management-cost-per-hop × mean
-	// hops per node.
-	meanPair, err := meanPairwiseHops(g, src.Split(9), 200)
-	if err != nil {
-		return nil, err
-	}
-	computeMs := pcn.NewConfig(pcn.SchemeSpider).SenderComputeDelayPerNode * float64(g.NumNodes()) * 1000
-	srcDelay := 3*meanPair*perHopDelayMs + computeMs
-	srcOverhead := placement.DefaultMgmtPerHop * meanPair * float64(g.NumNodes())
-	out = append(out, DelayOverheadPoint{Omega: 0, WithPCH: false, DelayMs: srcDelay, Overhead: srcOverhead})
-	return out, nil
-}
-
-// meanPairwiseHops estimates the mean shortest-path hop count by sampling.
-func meanPairwiseHops(g *graph.Graph, src *rng.Source, samples int) (float64, error) {
-	if g.NumNodes() < 2 {
-		return 0, fmt.Errorf("experiments: graph too small")
-	}
-	total, count := 0.0, 0
-	for i := 0; i < samples; i++ {
-		u := graph.NodeID(src.IntN(g.NumNodes()))
-		dist := g.BFSHops(u)
-		v := graph.NodeID(src.IntN(g.NumNodes()))
-		if u == v || dist[v] < 0 {
-			continue
-		}
-		total += float64(dist[v])
-		count++
-	}
-	if count == 0 {
-		return 0, fmt.Errorf("experiments: no connected samples")
-	}
-	return total / float64(count), nil
+	return scenario.DelayOverhead(base.Spec(), OmegaSweep)
 }
 
 // DelayOverheadTable renders Fig. 9(e/f) points.
 func DelayOverheadTable(title string, points []DelayOverheadPoint) Table {
-	t := Table{Title: title, Header: []string{"omega", "with_pch", "delay_ms", "overhead"}}
-	for _, p := range points {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%g", p.Omega),
-			fmt.Sprintf("%v", p.WithPCH),
-			fmt.Sprintf("%.2f", p.DelayMs),
-			fmt.Sprintf("%.3f", p.Overhead),
-		})
-	}
-	return t
+	return scenario.DelayOverheadTable(title, points)
 }
 
 // TradeoffTable renders Fig. 9(b) points.
 func TradeoffTable(title string, points []TradeoffPoint) Table {
-	t := Table{Title: title, Header: []string{"omega", "mgmt_cost", "sync_cost", "num_hubs"}}
-	for _, p := range points {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%g", p.Omega),
-			fmt.Sprintf("%.4f", p.MgmtCost),
-			fmt.Sprintf("%.4f", p.SyncCost),
-			fmt.Sprintf("%d", p.NumHubs),
-		})
-	}
-	return t
+	return scenario.TradeoffTable(title, points)
 }
 
 // MeanGap returns the mean relative gap between two series sharing X
-// values; used by tests and EXPERIMENTS.md to quantify approximation
-// quality in Fig. 9(a).
+// values; used by tests to quantify approximation quality in Fig. 9(a).
 func MeanGap(a, b Series) float64 {
-	n := len(a.Points)
-	if len(b.Points) < n {
-		n = len(b.Points)
-	}
-	if n == 0 {
-		return math.NaN()
-	}
-	total := 0.0
-	for i := 0; i < n; i++ {
-		ref := b.Points[i].Y
-		if ref == 0 {
-			continue
-		}
-		total += math.Abs(a.Points[i].Y-ref) / math.Abs(ref)
-	}
-	return total / float64(n)
+	return scenario.MeanGap(a, b)
 }

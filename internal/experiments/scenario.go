@@ -1,22 +1,19 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§V): the Fig. 7/8 scheme comparisons on small (100-node) and
-// large (3000-node) networks, the Fig. 9 placement evaluation, the Table I
-// qualitative property matrix and the Table II routing-choice study.
-//
-// Runners return Series (figure lines) or Table values and can emit CSV;
-// cmd/experiments is the CLI front end and bench_test.go wraps each runner
-// in a testing.B benchmark.
+// evaluation (§V). Since the declarative scenario engine landed
+// (internal/scenario), this package is a thin compatibility layer: the
+// Scenario struct maps onto a scenario.Spec, every figure/table runner is a
+// lookup into the same engine the `scenarios` CLI drives, and the output
+// types are aliases — so the historical API (and cmd/experiments) and
+// cmd/scenarios render through one code path, byte-for-byte.
 package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"github.com/splicer-pcn/splicer/internal/graph"
 	"github.com/splicer-pcn/splicer/internal/pcn"
-	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/scenario"
 	"github.com/splicer-pcn/splicer/internal/sweep"
-	"github.com/splicer-pcn/splicer/internal/topology"
 	"github.com/splicer-pcn/splicer/internal/workload"
 )
 
@@ -56,103 +53,83 @@ type Scenario struct {
 // arrival rate and duration are simulator-budget choices; the structural
 // parameters follow §V-A.
 func SmallScale() Scenario {
-	return Scenario{
-		Name:                "small",
-		Seed:                1,
-		Nodes:               100,
-		WSDegree:            4,
-		WSBeta:              0.25,
-		ChannelScale:        1,
-		ValueScale:          1,
-		Rate:                120,
-		Duration:            8,
-		Timeout:             3,
-		ZipfSkew:            0.8,
-		CirculationFraction: 0.25,
-		HubCandidates:       10,
-	}
+	return fromSpec(scenario.SmallSpec())
 }
 
 // LargeScale returns the paper's large-scale scenario (3000 nodes).
 func LargeScale() Scenario {
-	s := SmallScale()
-	s.Name = "large"
-	s.Seed = 2
-	s.Nodes = 3000
-	s.Rate = 400
-	s.Duration = 6
-	s.HubCandidates = 24
-	return s
+	return fromSpec(scenario.LargeSpec())
 }
 
 // Scale returns the scaling scenario beyond the paper's grid: a 2000-node
-// Watts–Strogatz network by default, swept up to 10k nodes by FigScale. The
-// trace is trimmed relative to LargeScale so the biggest graphs stay inside
-// the simulation budget; the point of the scenario is stressing the
-// path-computation layer (PathFinder scratch reuse, the shared RouteCache)
-// with network size, not trace length.
+// Watts–Strogatz network by default, swept up to 10k nodes by FigScale.
 func Scale() Scenario {
-	s := SmallScale()
-	s.Name = "scale"
-	s.Seed = 3
-	s.Nodes = 2000
-	s.Rate = 200
-	s.Duration = 4
-	s.HubCandidates = 24
-	return s
+	return fromSpec(scenario.ScaleSpec())
 }
 
-// Build materializes the graph and trace.
+// fromSpec maps a registry base spec back onto the historical struct.
+func fromSpec(sp scenario.Spec) Scenario {
+	return Scenario{
+		Name:                sp.Name,
+		Seed:                sp.Seed,
+		Nodes:               sp.Topology.Nodes,
+		WSDegree:            sp.Topology.Degree,
+		WSBeta:              sp.Topology.Beta,
+		ChannelScale:        sp.Topology.ChannelScale,
+		ValueScale:          sp.Workload.ValueScale,
+		Rate:                sp.Workload.Rate,
+		Duration:            sp.Workload.Duration,
+		Timeout:             sp.Workload.Timeout,
+		ZipfSkew:            sp.Workload.ZipfSkew,
+		CirculationFraction: sp.Workload.CirculationFraction,
+		HubCandidates:       sp.Routing.HubCandidates,
+	}
+}
+
+// Spec maps the scenario onto the declarative engine's cell spec.
+func (s Scenario) Spec() scenario.Spec {
+	return scenario.Spec{
+		Name: s.Name,
+		Seed: s.Seed,
+		Topology: scenario.TopologySpec{
+			Type:         scenario.TopoWattsStrogatz,
+			Nodes:        s.Nodes,
+			Degree:       s.WSDegree,
+			Beta:         s.WSBeta,
+			ChannelScale: s.ChannelScale,
+		},
+		Workload: scenario.WorkloadSpec{
+			Type:                scenario.WorkSynthetic,
+			Rate:                s.Rate,
+			Duration:            s.Duration,
+			Timeout:             s.Timeout,
+			ZipfSkew:            s.ZipfSkew,
+			ValueScale:          s.ValueScale,
+			CirculationFraction: s.CirculationFraction,
+		},
+		Routing: scenario.RoutingSpec{HubCandidates: s.HubCandidates},
+	}
+}
+
+// runOptions maps the replication/parallelism knobs onto the engine's.
+func (s Scenario) runOptions() scenario.RunOptions {
+	return scenario.RunOptions{Seeds: s.Seeds, Workers: s.Workers}
+}
+
+// Build materializes the graph and trace through the scenario engine.
 func (s Scenario) Build() (*graph.Graph, []workload.Tx, error) {
-	src := rng.New(s.Seed)
-	sizes := workload.NewChannelSizeDist(src.Split(1), s.ChannelScale)
-	g, err := topology.WattsStrogatz(src.Split(2), s.Nodes, s.WSDegree, s.WSBeta, sizes.CapacityFunc())
+	g, trace, err := s.Spec().Build()
 	if err != nil {
-		return nil, nil, fmt.Errorf("experiments: topology: %w", err)
-	}
-	clients := make([]graph.NodeID, s.Nodes)
-	for i := range clients {
-		clients[i] = graph.NodeID(i)
-	}
-	trace, err := workload.Generate(src.Split(3), workload.Config{
-		Clients:             clients,
-		Rate:                s.Rate,
-		Duration:            s.Duration,
-		Timeout:             s.Timeout,
-		ZipfSkew:            s.ZipfSkew,
-		ValueScale:          s.ValueScale,
-		CirculationFraction: s.CirculationFraction,
-	})
-	if err != nil {
-		return nil, nil, fmt.Errorf("experiments: workload: %w", err)
+		return nil, nil, fmt.Errorf("experiments: %w", err)
 	}
 	return g, trace, nil
 }
 
-// seedList returns the replication seeds (the scenario's own seed when no
-// explicit list is set).
-func (s Scenario) seedList() []uint64 {
-	if len(s.Seeds) > 0 {
-		return s.Seeds
-	}
-	return []uint64{s.Seed}
-}
-
-// workerCount maps the Workers knob to a sweep.Run argument.
-func (s Scenario) workerCount() int {
-	switch {
-	case s.Workers < 0:
-		return 0 // all cores
-	case s.Workers == 0:
-		return 1 // serial default
-	default:
-		return s.Workers
-	}
-}
-
 // Cell packages one (scheme, config-mutation) run of the scenario as a
 // sweep cell: the builder materializes a private graph and trace, so cells
-// are safe to run on parallel workers.
+// are safe to run on parallel workers. Arbitrary config mutations cannot be
+// expressed declaratively, so this stays a closure-based cell; declarative
+// sweeps go through scenario.RunFigure instead.
 func (s Scenario) Cell(scheme pcn.Scheme, axis string, x float64, label string, mutate func(*pcn.Config)) sweep.Cell {
 	return sweep.Cell{
 		Scheme: scheme,
@@ -191,69 +168,26 @@ var Schemes = []pcn.Scheme{
 	pcn.SchemeA2L,
 }
 
-// Point is one (x, y) sample of a figure line.
-type Point struct {
-	X float64
-	Y float64
+// schemeNames maps schemes to their registry names for the engine.
+func schemeNames(schemes []pcn.Scheme) []string {
+	names := make([]string, len(schemes))
+	for i, s := range schemes {
+		names[i] = s.String()
+	}
+	return names
 }
+
+// Point is one (x, y) sample of a figure line.
+type Point = scenario.Point
 
 // Series is one labeled figure line.
-type Series struct {
-	Name   string
-	Points []Point
-}
+type Series = scenario.Series
 
 // Table is a rendered result table.
-type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-}
-
-// CSV renders the table as CSV.
-func (t Table) CSV() string {
-	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-// Markdown renders the table as GitHub-flavored markdown.
-func (t Table) Markdown() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "### %s\n\n", t.Title)
-	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
-	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
-	for _, row := range t.Rows {
-		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
-	}
-	return b.String()
-}
+type Table = scenario.Table
 
 // SeriesTable renders a set of series sharing X values into a table with
 // one column per series.
 func SeriesTable(title, xLabel string, series []Series) Table {
-	t := Table{Title: title, Header: []string{xLabel}}
-	for _, s := range series {
-		t.Header = append(t.Header, s.Name)
-	}
-	if len(series) == 0 {
-		return t
-	}
-	for i, p := range series[0].Points {
-		row := []string{fmt.Sprintf("%g", p.X)}
-		for _, s := range series {
-			if i < len(s.Points) {
-				row = append(row, fmt.Sprintf("%.4f", s.Points[i].Y))
-			} else {
-				row = append(row, "")
-			}
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	return t
+	return scenario.SeriesTable(title, xLabel, series)
 }

@@ -3,141 +3,39 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/splicer-pcn/splicer/internal/channel"
-	"github.com/splicer-pcn/splicer/internal/pcn"
-	"github.com/splicer-pcn/splicer/internal/routing"
-	"github.com/splicer-pcn/splicer/internal/sweep"
+	"github.com/splicer-pcn/splicer/internal/scenario"
 )
 
-// TableI reproduces the paper's qualitative property matrix (Table I):
-// which scheme family offers which property. Static by construction.
+// TableI reproduces the paper's qualitative property matrix (Table I).
 func TableI() Table {
-	yes, no := "✓", "—"
-	return Table{
-		Title: "Table I: state-of-the-art PCN scalable schemes",
-		Header: []string{
-			"Property",
-			"Lightning/Raiden", "Flare/Sprites", "REVIVE", "Spider", "Flash",
-			"TumbleBit", "A2L", "Perun", "Commit-Chains", "Splicer",
-		},
-		Rows: [][]string{
-			{"Improving throughput", no, no, yes, yes, yes, no, no, yes, yes, yes},
-			{"Support large transactions", no, no, no, yes, yes, no, no, no, no, yes},
-			{"Payment channel balance", no, no, yes, yes, no, no, no, no, no, yes},
-			{"Deadlock-free routing", no, no, no, yes, no, no, no, no, no, yes},
-			{"Transaction unlinkability", no, no, no, no, no, yes, yes, no, yes, yes},
-			{"Optimal hub placement", no, no, no, no, no, no, no, no, no, yes},
-		},
-	}
+	return scenario.TableI()
 }
 
 // TableIIRow is one cell group of Table II: a routing choice and its TSR at
 // both network scales.
-type TableIIRow struct {
-	Group  string // "Path Type", "Path Number", "Scheduling Algorithm"
-	Choice string
-	Small  float64
-	Large  float64
-}
+type TableIIRow = scenario.TableIIRow
 
 // TableIIOptions narrows the study for test/bench budgets.
-type TableIIOptions struct {
-	// PathTypes, PathNumbers, Schedulers default to the paper's grids when
-	// nil/empty.
-	PathTypes   []routing.PathType
-	PathNumbers []int
-	Schedulers  []string
-	// SkipLarge drops the large-scale column (test budgets).
-	SkipLarge bool
-}
+type TableIIOptions = scenario.ChoicesOptions
 
-func (o *TableIIOptions) fill() {
-	if len(o.PathTypes) == 0 {
-		o.PathTypes = []routing.PathType{routing.KSP, routing.Heuristic, routing.EDW, routing.EDS}
-	}
-	if len(o.PathNumbers) == 0 {
-		o.PathNumbers = []int{1, 3, 5, 7}
-	}
-	if len(o.Schedulers) == 0 {
-		o.Schedulers = []string{"FIFO", "LIFO", "SPF", "EDF"}
-	}
-}
-
-// TableII reproduces the routing-choice study: Splicer's TSR for each path
-// type, path count, and queue scheduling algorithm, at small and large
-// scales. All cells run on the sweep worker pool (the small scenario's
-// Workers knob); cell order is fixed so the rows are identical for any
-// worker count.
+// TableII reproduces the routing-choice study through the scenario engine:
+// Splicer's TSR for each path type, path count, and queue scheduling
+// algorithm, at small and large scales. All cells run on the sweep worker
+// pool (the small scenario's Workers knob); cell order is fixed so the rows
+// are identical for any worker count. Each scale replicates over its own
+// Seeds list, exactly as the hand-wired study did.
 func TableII(small, large Scenario, opts TableIIOptions) ([]TableIIRow, error) {
-	opts.fill()
-	type choice struct {
-		group, name string
-		mutate      func(*pcn.Config)
-	}
-	var choices []choice
-	for _, pt := range opts.PathTypes {
-		pt := pt
-		choices = append(choices, choice{"Path Type", pt.String(), func(c *pcn.Config) { c.PathType = pt }})
-	}
-	for _, k := range opts.PathNumbers {
-		k := k
-		choices = append(choices, choice{"Path Number", fmt.Sprintf("%d", k), func(c *pcn.Config) { c.NumPaths = k }})
-	}
-	for _, name := range opts.Schedulers {
-		sched, err := channel.SchedulerByName(name)
-		if err != nil {
-			return nil, err
-		}
-		choices = append(choices, choice{"Scheduling Algorithm", name, func(c *pcn.Config) { c.Scheduler = sched }})
-	}
-	// One cell per (choice, scale, seed); each (choice, scale) group keys on
-	// its label and the rows report the across-seed mean TSR.
-	var cells []sweep.Cell
-	addCells := func(scen Scenario, label string, mutate func(*pcn.Config)) {
-		for _, seed := range scen.seedList() {
-			cell := scen
-			cell.Seed = seed
-			cells = append(cells, cell.Cell(pcn.SchemeSplicer, "scale", 0, label, mutate))
-		}
-	}
-	for _, ch := range choices {
-		label := ch.group + "/" + ch.name
-		addCells(small, label+" small", ch.mutate)
-		if !opts.SkipLarge {
-			addCells(large, label+" large", ch.mutate)
-		}
-	}
-	results := sweep.Run(cells, small.workerCount())
-	if err := sweep.FirstErr(results); err != nil {
+	opts.SmallSeeds = small.Seeds
+	opts.LargeSeeds = large.Seeds
+	rows, err := scenario.RoutingChoices(small.Spec(), large.Spec(), opts,
+		scenario.RunOptions{Workers: small.Workers})
+	if err != nil {
 		return nil, fmt.Errorf("experiments: table II: %w", err)
-	}
-	tsrByLabel := map[string]float64{}
-	for _, s := range sweep.Aggregate(results) {
-		tsrByLabel[s.Label] = s.TSR.Mean
-	}
-	rows := make([]TableIIRow, len(choices))
-	for i, ch := range choices {
-		label := ch.group + "/" + ch.name
-		rows[i] = TableIIRow{Group: ch.group, Choice: ch.name, Small: tsrByLabel[label+" small"]}
-		if !opts.SkipLarge {
-			rows[i].Large = tsrByLabel[label+" large"]
-		}
 	}
 	return rows, nil
 }
 
 // TableIITable renders the rows.
 func TableIITable(rows []TableIIRow) Table {
-	t := Table{
-		Title:  "Table II: influence of routing choices on Splicer's TSR",
-		Header: []string{"Group", "Choice", "Small", "Large"},
-	}
-	for _, r := range rows {
-		t.Rows = append(t.Rows, []string{
-			r.Group, r.Choice,
-			fmt.Sprintf("%.2f%%", 100*r.Small),
-			fmt.Sprintf("%.2f%%", 100*r.Large),
-		})
-	}
-	return t
+	return scenario.TableIITable(rows)
 }

@@ -36,6 +36,7 @@ func (n *Network) OpenChannel(u, v graph.NodeID, fundU, fundV float64) (graph.Ed
 	if len(n.chans) != n.g.NumEdges() {
 		panic("pcn: channel array diverged from graph edges")
 	}
+	n.recordCapital(fundU + fundV)
 	n.InvalidateRoutes()
 	return eid, nil
 }
@@ -92,6 +93,7 @@ func (n *Network) TopUpChannel(id graph.EdgeID, addU, addV float64) error {
 	if err := ch.Deposit(channel.Rev, addV); err != nil {
 		return err
 	}
+	n.recordCapital(addU + addV)
 	e := n.g.Edge(id)
 	n.g.SetCapacity(id, e.CapFwd+addU, e.CapRev+addV)
 	n.InvalidateRoutes()

@@ -1,0 +1,110 @@
+package pcn
+
+import (
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// invariantNetwork builds a small network plus trace for conservation tests.
+func invariantNetwork(t *testing.T, scheme Scheme) (*Network, []workload.Tx) {
+	t.Helper()
+	src := rng.New(21)
+	sizes := workload.NewChannelSizeDist(src.Split(1), 1)
+	g, err := topology.WattsStrogatz(src.Split(2), 40, 4, 0.25, sizes.CapacityFunc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]graph.NodeID, g.NumNodes())
+	for i := range clients {
+		clients[i] = graph.NodeID(i)
+	}
+	trace, err := workload.Generate(src.Split(3), workload.Config{
+		Clients:             clients,
+		Rate:                60,
+		Duration:            3,
+		Timeout:             3,
+		ZipfSkew:            0.8,
+		ValueScale:          1,
+		CirculationFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(scheme)
+	cfg.NumHubCandidates = 5
+	n, err := NewNetwork(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, trace
+}
+
+// TestConservationAllSchemes pins the conservation-of-funds invariant over a
+// full static run of every registered scheme: balances plus in-flight HTLCs
+// must match the recorded capital inflow at the end of the run.
+func TestConservationAllSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{
+		SchemeSplicer, SchemeSpider, SchemeFlash,
+		SchemeLandmark, SchemeA2L, SchemeShortestPath,
+	} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			n, trace := invariantNetwork(t, scheme)
+			if err := n.CheckConservation(); err != nil {
+				t.Fatalf("pre-run: %v", err)
+			}
+			if _, err := n.Run(trace); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConservationDetectsLeak makes sure the checker actually fires: burning
+// funds out of a channel must break the invariant.
+func TestConservationDetectsLeak(t *testing.T) {
+	n, _ := invariantNetwork(t, SchemeShortestPath)
+	ch := n.Channel(0)
+	if err := ch.Lock(0, ch.Balance(0)/2); err != nil {
+		t.Fatal(err)
+	}
+	// A lock conserves: balance moved to the in-flight bucket.
+	if err := n.CheckConservation(); err != nil {
+		t.Fatalf("lock broke conservation: %v", err)
+	}
+	// An unrecorded deposit is a mint from the checker's point of view.
+	if err := ch.Deposit(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckConservation(); err == nil {
+		t.Fatal("checker missed a 100-token mint")
+	}
+}
+
+// TestConservationDynamicMutations covers the mid-run capital events: opens,
+// top-ups, closes, rebalances and departures must keep the ledger aligned.
+func TestConservationDynamicMutations(t *testing.T) {
+	n, _ := invariantNetwork(t, SchemeShortestPath)
+	if _, err := n.OpenChannel(1, 7, 120, 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.TopUpChannel(0, 25, 30); err != nil {
+		t.Fatal(err)
+	}
+	n.RebalanceChannel(2, 0.5)
+	if err := n.CloseChannel(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DepartNode(11); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

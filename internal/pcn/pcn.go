@@ -249,6 +249,10 @@ type Network struct {
 	genCount int
 	genValue float64
 	ticking  bool
+
+	// capitalIn is the recorded capital inflow backing the
+	// conservation-of-funds invariant (see invariant.go).
+	capitalIn float64
 }
 
 // NewNetwork builds a simulation over graph g under cfg. The graph's edge
@@ -297,6 +301,7 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 		}
 		ch.QueueLimit = cfg.QueueLimit
 		n.chans[i] = ch
+		n.recordCapital(e.CapFwd + e.CapRev)
 	}
 	if err := n.policy.Setup(n); err != nil {
 		return nil, err
@@ -358,6 +363,7 @@ func (n *Network) ReshapeMultiStar() {
 		}
 		ch.QueueLimit = n.cfg.QueueLimit
 		n.chans = append(n.chans, ch)
+		n.recordCapital(2 * funds)
 	}
 	n.InvalidateRoutes() // the graph gained channels; cached paths are stale
 }
@@ -382,9 +388,11 @@ func (n *Network) CapitalizeHubs() {
 			n.boosted[eid] = true
 			ch := n.chans[eid]
 			for _, d := range []channel.Direction{channel.Fwd, channel.Rev} {
-				if err := ch.Deposit(d, ch.Balance(d)*(n.cfg.HubCapitalBoost-1)); err != nil {
+				pledge := ch.Balance(d) * (n.cfg.HubCapitalBoost - 1)
+				if err := ch.Deposit(d, pledge); err != nil {
 					panic(err) // channel is open and the amount non-negative
 				}
+				n.recordCapital(pledge)
 			}
 		}
 	}

@@ -1,0 +1,265 @@
+// Sweep runners: the generic machinery that turns a base Spec plus a
+// declarative axis into figure series and tables on the internal/sweep
+// worker pool. Cell order is fixed (x-major, then scheme/variant, then
+// seed) and aggregation folds in that order, so every runner's output is
+// byte-identical for any worker count — the same contract the hand-wired
+// experiment runners had.
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/sweep"
+)
+
+// Axis declares a swept parameter: the name doubles as the cell axis label
+// and the CSV x-column. See Spec.withParam for the known parameters.
+type Axis struct {
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// Metric selects which summary statistic a figure reports.
+type Metric string
+
+// Figure metrics.
+const (
+	MetricTSR        Metric = "tsr"
+	MetricThroughput Metric = "throughput"
+)
+
+func (m Metric) of(s sweep.Summary) (float64, error) {
+	switch m {
+	case MetricThroughput:
+		return s.Throughput.Mean, nil
+	case MetricTSR, "":
+		return s.TSR.Mean, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown metric %q", m)
+	}
+}
+
+// RunOptions carries the execution knobs shared by every runner.
+type RunOptions struct {
+	// SeedCount replicates every cell over seeds base, base+1, …,
+	// base+SeedCount−1 (relative to each base spec's seed — the historical
+	// -seeds flag semantics); points report the across-seed mean. Takes
+	// precedence over Seeds.
+	SeedCount int
+	// Seeds is an explicit replication seed list (empty: the base spec's
+	// single seed).
+	Seeds []uint64
+	// Workers bounds the sweep worker pool: 0 or 1 serial, N > 1 parallel,
+	// < 0 all cores. Results are identical for any value.
+	Workers int
+}
+
+func (o RunOptions) seedsFor(base uint64) []uint64 {
+	if o.SeedCount > 0 {
+		out := make([]uint64, o.SeedCount)
+		for i := range out {
+			out[i] = base + uint64(i)
+		}
+		return out
+	}
+	if len(o.Seeds) > 0 {
+		return o.Seeds
+	}
+	return []uint64{base}
+}
+
+func (o RunOptions) workerCount() int {
+	switch {
+	case o.Workers < 0:
+		return 0 // all cores
+	case o.Workers == 0:
+		return 1 // serial default
+	default:
+		return o.Workers
+	}
+}
+
+// parseSchemes maps scheme names through the policy registry.
+func parseSchemes(names []string) ([]pcn.Scheme, error) {
+	out := make([]pcn.Scheme, len(names))
+	for i, name := range names {
+		s, err := pcn.SchemeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// figKey addresses one figure point in the aggregated sweep output.
+type figKey struct {
+	scheme pcn.Scheme
+	x      float64
+}
+
+// RunFigure sweeps the axis over every scheme: each (x, scheme, seed) cell
+// is an independent simulation, and each figure point is the across-seed
+// mean of the chosen metric.
+func RunFigure(base Spec, axis Axis, schemeNames []string, metric Metric, opts RunOptions) ([]Series, error) {
+	schemes, err := parseSchemes(schemeNames)
+	if err != nil {
+		return nil, err
+	}
+	var cells []sweep.Cell
+	for _, x := range axis.Values {
+		scen, err := base.withParam(axis.Param, x)
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range schemes {
+			for _, seed := range opts.seedsFor(base.Seed) {
+				cell := scen
+				cell.Seed = seed
+				cells = append(cells, cell.Cell(scheme, axis.Param, x, ""))
+			}
+		}
+	}
+	results := sweep.Run(cells, opts.workerCount())
+	if err := sweep.FirstErr(results); err != nil {
+		return nil, err
+	}
+	byKey := map[figKey]sweep.Summary{}
+	for _, s := range sweep.Aggregate(results) {
+		byKey[figKey{s.Scheme, s.X}] = s
+	}
+	out := make([]Series, len(schemes))
+	for si, scheme := range schemes {
+		out[si].Name = scheme.String()
+		for _, x := range axis.Values {
+			y, err := metric.of(byKey[figKey{scheme, x}])
+			if err != nil {
+				return nil, err
+			}
+			out[si].Points = append(out[si].Points, Point{X: x, Y: y})
+		}
+	}
+	return out, nil
+}
+
+// OnlineLabel names the Splicer-with-online-re-placement churn variant.
+const OnlineLabel = "Splicer(online)"
+
+// OnlineReplaceInterval is how often the online churn variant re-runs
+// placement (seconds).
+const OnlineReplaceInterval = 1.0
+
+// churnVariant is one line of the churn panel.
+type churnVariant struct {
+	scheme  pcn.Scheme
+	label   string // aggregation label; "" for the plain scheme
+	name    string // series name
+	replace bool
+}
+
+// RunChurnPanel sweeps churn rate over every scheme plus the
+// Splicer-with-online-re-placement variant, reporting TSR and mean delay
+// series. The base spec must carry a dynamics block; its ChurnRate is the
+// swept parameter.
+func RunChurnPanel(base Spec, churnRates []float64, schemeNames []string, opts RunOptions) (tsr, delay []Series, err error) {
+	if base.Dynamics == nil {
+		return nil, nil, fmt.Errorf("scenario: churn panel needs a dynamics block in spec %q", base.Name)
+	}
+	schemes, err := parseSchemes(schemeNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	var variants []churnVariant
+	for _, sc := range schemes {
+		variants = append(variants, churnVariant{scheme: sc, name: sc.String()})
+	}
+	variants = append(variants, churnVariant{
+		scheme: pcn.SchemeSplicer, label: "online", name: OnlineLabel, replace: true,
+	})
+	var cells []sweep.Cell
+	for _, x := range churnRates {
+		for _, v := range variants {
+			for _, seed := range opts.seedsFor(base.Seed) {
+				scen, err := base.withParam("churn_rate", x)
+				if err != nil {
+					return nil, nil, err
+				}
+				scen.Seed = seed
+				if v.replace {
+					d := *scen.Dynamics
+					d.ReplaceInterval = OnlineReplaceInterval
+					scen.Dynamics = &d
+				}
+				cells = append(cells, scen.Cell(v.scheme, "churn_rate", x, v.label))
+			}
+		}
+	}
+	results := sweep.Run(cells, opts.workerCount())
+	if err := sweep.FirstErr(results); err != nil {
+		return nil, nil, err
+	}
+	type key struct {
+		scheme pcn.Scheme
+		label  string
+		x      float64
+	}
+	byKey := map[key]sweep.Summary{}
+	for _, s := range sweep.Aggregate(results) {
+		byKey[key{s.Scheme, s.Label, s.X}] = s
+	}
+	tsr = make([]Series, len(variants))
+	delay = make([]Series, len(variants))
+	for vi, v := range variants {
+		tsr[vi].Name = v.name
+		delay[vi].Name = v.name
+		for _, x := range churnRates {
+			s := byKey[key{v.scheme, v.label, x}]
+			tsr[vi].Points = append(tsr[vi].Points, Point{X: x, Y: s.TSR.Mean})
+			delay[vi].Points = append(delay[vi].Points, Point{X: x, Y: s.MeanDelay.Mean})
+		}
+	}
+	return tsr, delay, nil
+}
+
+// SchemeTable runs the spec once per scheme and tabulates the headline
+// metrics — the presentation for standalone scenarios (replayed traces,
+// bursty workloads) that have no swept axis.
+func SchemeTable(base Spec, schemeNames []string, opts RunOptions) (Table, error) {
+	schemes, err := parseSchemes(schemeNames)
+	if err != nil {
+		return Table{}, err
+	}
+	var cells []sweep.Cell
+	for _, scheme := range schemes {
+		for _, seed := range opts.seedsFor(base.Seed) {
+			cell := base
+			cell.Seed = seed
+			cells = append(cells, cell.Cell(scheme, "", 0, ""))
+		}
+	}
+	results := sweep.Run(cells, opts.workerCount())
+	if err := sweep.FirstErr(results); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Scenario %s: scheme comparison", base.Name),
+		Header: []string{"scheme", "tsr", "norm_throughput", "mean_delay_s", "mean_queue_delay_s", "mean_imbalance"},
+	}
+	byScheme := map[pcn.Scheme]sweep.Summary{}
+	for _, s := range sweep.Aggregate(results) {
+		byScheme[s.Scheme] = s
+	}
+	for _, scheme := range schemes {
+		s := byScheme[scheme]
+		t.Rows = append(t.Rows, []string{
+			scheme.String(),
+			fmt.Sprintf("%.4f", s.TSR.Mean),
+			fmt.Sprintf("%.4f", s.Throughput.Mean),
+			fmt.Sprintf("%.4f", s.MeanDelay.Mean),
+			fmt.Sprintf("%.4f", s.MeanQueueDelay.Mean),
+			fmt.Sprintf("%.4f", s.MeanImbalance.Mean),
+		})
+	}
+	return t, nil
+}

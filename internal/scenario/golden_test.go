@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update-golden regenerates the fixtures instead of comparing (use only
+// when an intentional behavior change lands; the diff is the review
+// artifact).
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden CSV fixtures from current output")
+
+// goldenEntries names the registry entries pinned byte-for-byte. The
+// fixtures were produced by the hand-wired pre-engine experiment runners
+// (cmd/experiments), so this test is the proof that the declarative engine
+// reproduces the historical generators exactly — and it keeps future perf
+// PRs honest mechanically: any change to the sweep machinery, the rng split
+// discipline, the simulator core or the CSV formatting that shifts a single
+// byte fails here.
+//
+// fig7c pins the static figure path (scheme sweep, tau mutation), figchurn
+// the dynamics path (timeline, driver, online re-placement), table2 the
+// config-mutation path (path types, path counts, schedulers, both scales).
+// The remaining registry entries run through the same four runners, so they
+// are pinned transitively.
+var goldenEntries = []string{"fig7c", "figchurn", "table2"}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".csv")
+}
+
+func TestGoldenConformance(t *testing.T) {
+	for _, name := range goldenEntries {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && name == "table2" {
+				t.Skip("table2 regenerates the full 3000-node study (~20s); run without -short")
+			}
+			entry, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("registry entry %q missing", name)
+			}
+			table, err := entry.Run(RunOptions{Workers: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := []byte(table.CSV())
+			path := goldenPath(name)
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				diffPath := filepath.Join(t.TempDir(), name+".got.csv")
+				if env := os.Getenv("GOLDEN_DIFF_DIR"); env != "" {
+					if err := os.MkdirAll(env, 0o755); err == nil {
+						diffPath = filepath.Join(env, name+".got.csv")
+					}
+				}
+				if err := os.WriteFile(diffPath, got, 0o644); err != nil {
+					t.Logf("could not write diff artifact: %v", err)
+				}
+				t.Fatalf("%s diverged from the golden fixture %s\nregenerated CSV written to %s\n"+
+					"(if the change is intentional, regenerate with -update-golden and review the diff)",
+					name, path, diffPath)
+			}
+		})
+	}
+}

@@ -1,0 +1,347 @@
+// The named-scenario registry: every figure and table of the paper's
+// evaluation — plus the post-paper panels (scaling, churn) and the new
+// standalone scenarios — as a declarative entry over base Specs. cmd/
+// scenarios runs entries by name; internal/experiments' historical API is a
+// thin wrapper over the same entries, so both front ends produce identical
+// CSVs.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Default sweep grids (figure x-axes). Functions return fresh copies so
+// callers can trim them without affecting the registry.
+func ChannelScaleGrid() []float64 { return []float64{0.25, 0.5, 1, 2, 4} }
+func ValueScaleGrid() []float64   { return []float64{0.5, 1, 2, 4, 8} }
+func TauGridMs() []float64        { return []float64{100, 200, 400, 600, 800, 1000} }
+func NodeCountGrid() []float64    { return []float64{2000, 4000, 6000, 8000, 10000} }
+func ChurnRateGrid() []float64    { return []float64{0, 0.5, 1, 2, 4} }
+func OmegaGrid() []float64 {
+	return []float64{0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12}
+}
+
+// DefaultSchemes lists the five schemes of Figs. 7-8 in the paper's legend
+// order.
+func DefaultSchemes() []string {
+	return []string{"Splicer", "Spider", "Flash", "Landmark", "A2L"}
+}
+
+// ChurnSchemes is the churn panel's comparison set: the paper's five plus
+// the naive shortest-path baseline.
+func ChurnSchemes() []string {
+	return append(DefaultSchemes(), "ShortestPath")
+}
+
+// SmallSpec is the paper's small-scale scenario (100 nodes, §V-A).
+func SmallSpec() Spec {
+	return Spec{
+		Name:        "small",
+		Description: "paper small-scale: 100-node Watts-Strogatz, LN channel sizes, 120 tx/s for 8 s",
+		Seed:        1,
+		Topology: TopologySpec{
+			Type: TopoWattsStrogatz, Nodes: 100, Degree: 4, Beta: 0.25, ChannelScale: 1,
+		},
+		Workload: WorkloadSpec{
+			Type: WorkSynthetic, Rate: 120, Duration: 8, Timeout: 3,
+			ZipfSkew: 0.8, ValueScale: 1, CirculationFraction: 0.25,
+		},
+		Routing: RoutingSpec{HubCandidates: 10},
+	}
+}
+
+// LargeSpec is the paper's large-scale scenario (3000 nodes).
+func LargeSpec() Spec {
+	s := SmallSpec()
+	s.Name = "large"
+	s.Description = "paper large-scale: 3000-node Watts-Strogatz, 400 tx/s for 6 s"
+	s.Seed = 2
+	s.Topology.Nodes = 3000
+	s.Workload.Rate = 400
+	s.Workload.Duration = 6
+	s.Routing.HubCandidates = 24
+	return s
+}
+
+// ScaleSpec is the scaling scenario beyond the paper's grid (2k-10k nodes).
+func ScaleSpec() Spec {
+	s := SmallSpec()
+	s.Name = "scale"
+	s.Description = "scaling stress: 2k-10k-node Watts-Strogatz, exercises the path-computation layer"
+	s.Seed = 3
+	s.Topology.Nodes = 2000
+	s.Workload.Rate = 200
+	s.Workload.Duration = 4
+	s.Routing.HubCandidates = 24
+	return s
+}
+
+// ChurnSpec is the dynamic-network scenario.
+func ChurnSpec() Spec {
+	s := SmallSpec()
+	s.Name = "churn"
+	s.Description = "dynamic network: small-scale topology under churn, depletion repair and demand drift"
+	s.Seed = 4
+	s.Workload.Rate = 100
+	s.Workload.Duration = 8
+	// The dynamics driver owns the demand process; the circulation knob
+	// belongs to the static trace generator and must be unset here.
+	s.Workload.CirculationFraction = 0
+	s.Dynamics = &DynamicsSpec{ChurnRate: 0}
+	return s
+}
+
+// ReplaySnapshotSpec replays a captured trace over a snapshot topology: both
+// the graph and the payments come from checked-in CSV fixtures rather than
+// generators — the template for running real captured data.
+func ReplaySnapshotSpec() Spec {
+	return Spec{
+		Name:        "replay-snapshot",
+		Description: "trace replay on a snapshot topology: 80-node scale-free LN-like graph, 5 s captured trace",
+		Seed:        6,
+		Topology:    TopologySpec{Type: TopoSnapshot, Snapshot: "builtin:ln-small", ChannelScale: 1},
+		Workload:    WorkloadSpec{Type: WorkReplay, Trace: "builtin:replay-small", Timeout: 3},
+		Routing:     RoutingSpec{HubCandidates: 8},
+	}
+}
+
+// BurstyHubSpokeSpec runs bursty on-off demand over a hierarchical hub-spoke
+// topology: leaf clients behind mid-tier hubs behind a funded core backbone,
+// with ~3x arrival bursts against a near-idle baseline.
+func BurstyHubSpokeSpec() Spec {
+	return Spec{
+		Name:        "bursty-hubspoke",
+		Description: "bursty on-off arrivals (3x bursts) on a 3-core hierarchical hub-spoke network, leaf-only demand",
+		Seed:        7,
+		Topology: TopologySpec{
+			Type: TopoHubSpoke, Cores: 3, HubsPerCore: 3, ClientsPerHub: 10,
+			CoreCapScale: 8, HubCapScale: 4, ChannelScale: 1,
+		},
+		Workload: WorkloadSpec{
+			Type: WorkSynthetic, Rate: 80, Duration: 8, Timeout: 3,
+			ZipfSkew: 0.8, ValueScale: 1, CirculationFraction: 0.25,
+			ExcludeHubTier: true,
+			OnOff:          &OnOffSpec{MeanOn: 1, MeanOff: 1.5, OnFactor: 3, OffFactor: 0.2},
+		},
+		Routing: RoutingSpec{HubCandidates: 8},
+	}
+}
+
+// Kind selects an entry's runner shape.
+type Kind int
+
+// Entry kinds.
+const (
+	// KindFigure sweeps Axis over Schemes and reports Metric per point.
+	KindFigure Kind = iota + 1
+	// KindChurn is the churn panel (TSR + delay, schemes + online variant).
+	KindChurn
+	// KindBalanceCost / KindTradeoff / KindHubCount / KindDelayOverhead are
+	// the Fig. 9 placement panels over Omegas.
+	KindBalanceCost
+	KindTradeoff
+	KindHubCount
+	KindDelayOverhead
+	// KindStatic renders a fixed table (Table I).
+	KindStatic
+	// KindRoutingChoices is the Table II study over Base (small) and
+	// BaseLarge.
+	KindRoutingChoices
+	// KindSchemeTable runs the base spec once per scheme (standalone
+	// scenarios).
+	KindSchemeTable
+)
+
+// Entry is one named, runnable scenario.
+type Entry struct {
+	Name        string
+	Title       string
+	Description string
+	Kind        Kind
+	Base        Spec
+	// XLabel is the CSV x-column for figure entries.
+	XLabel string
+	// Axis, Schemes, Metric parameterize KindFigure (Axis.Values also feeds
+	// KindChurn).
+	Axis    Axis
+	Schemes []string
+	Metric  Metric
+	// Omegas feeds the placement panels.
+	Omegas []float64
+	// BaseLarge and Choices feed KindRoutingChoices.
+	BaseLarge *Spec
+	Choices   *ChoicesOptions
+	// Static produces KindStatic's table.
+	Static func() Table
+}
+
+// Run executes the entry and renders its table.
+func (e *Entry) Run(opts RunOptions) (Table, error) {
+	switch e.Kind {
+	case KindFigure:
+		series, err := RunFigure(e.Base, e.Axis, e.Schemes, e.Metric, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		return SeriesTable(e.Title, e.XLabel, series), nil
+	case KindChurn:
+		tsr, delay, err := RunChurnPanel(e.Base, e.Axis.Values, e.Schemes, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		return ChurnTable(e.Title, tsr, delay), nil
+	case KindBalanceCost:
+		series, err := BalanceCostSeries(e.Base, e.Omegas)
+		if err != nil {
+			return Table{}, err
+		}
+		return SeriesTable(e.Title, "omega", series), nil
+	case KindTradeoff:
+		pts, err := CostTradeoff(e.Base, e.Omegas)
+		if err != nil {
+			return Table{}, err
+		}
+		return TradeoffTable(e.Title, pts), nil
+	case KindHubCount:
+		s, err := HubCount(e.Base, e.Omegas)
+		if err != nil {
+			return Table{}, err
+		}
+		return SeriesTable(e.Title, "omega", []Series{s}), nil
+	case KindDelayOverhead:
+		pts, err := DelayOverhead(e.Base, e.Omegas)
+		if err != nil {
+			return Table{}, err
+		}
+		return DelayOverheadTable(e.Title, pts), nil
+	case KindStatic:
+		return e.Static(), nil
+	case KindRoutingChoices:
+		var choices ChoicesOptions
+		if e.Choices != nil {
+			choices = *e.Choices
+		}
+		rows, err := RoutingChoices(e.Base, *e.BaseLarge, choices, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		return TableIITable(rows), nil
+	case KindSchemeTable:
+		return SchemeTable(e.Base, e.Schemes, opts)
+	default:
+		return Table{}, fmt.Errorf("scenario: entry %q has unknown kind %d", e.Name, e.Kind)
+	}
+}
+
+// TableI reproduces the paper's qualitative property matrix (Table I):
+// which scheme family offers which property. Static by construction.
+func TableI() Table {
+	yes, no := "✓", "—"
+	return Table{
+		Title: "Table I: state-of-the-art PCN scalable schemes",
+		Header: []string{
+			"Property",
+			"Lightning/Raiden", "Flare/Sprites", "REVIVE", "Spider", "Flash",
+			"TumbleBit", "A2L", "Perun", "Commit-Chains", "Splicer",
+		},
+		Rows: [][]string{
+			{"Improving throughput", no, no, yes, yes, yes, no, no, yes, yes, yes},
+			{"Support large transactions", no, no, no, yes, yes, no, no, no, no, yes},
+			{"Payment channel balance", no, no, yes, yes, no, no, no, no, no, yes},
+			{"Deadlock-free routing", no, no, no, yes, no, no, no, no, no, yes},
+			{"Transaction unlinkability", no, no, no, no, no, yes, yes, no, yes, yes},
+			{"Optimal hub placement", no, no, no, no, no, no, no, no, no, yes},
+		},
+	}
+}
+
+// buildRegistry assembles the entry set.
+func buildRegistry() map[string]*Entry {
+	small, large, scale, churn := SmallSpec(), LargeSpec(), ScaleSpec(), ChurnSpec()
+	largeCopy := large
+	figure := func(name, title, param string, values []float64, base Spec, metric Metric) *Entry {
+		return &Entry{
+			Name: name, Title: title, Kind: KindFigure, Base: base,
+			XLabel: param, Axis: Axis{Param: param, Values: values},
+			Schemes: DefaultSchemes(), Metric: metric,
+			Description: title,
+		}
+	}
+	placementEntry := func(name, title string, kind Kind, base Spec) *Entry {
+		return &Entry{
+			Name: name, Title: title, Kind: kind, Base: base,
+			Omegas: OmegaGrid(), Description: title,
+		}
+	}
+	entries := []*Entry{
+		figure("fig7a", "Fig 7(a): TSR vs channel size (small)", "channel_scale", ChannelScaleGrid(), small, MetricTSR),
+		figure("fig7b", "Fig 7(b): TSR vs transaction size (small)", "value_scale", ValueScaleGrid(), small, MetricTSR),
+		figure("fig7c", "Fig 7(c): TSR vs update time (small)", "tau_ms", TauGridMs(), small, MetricTSR),
+		figure("fig7d", "Fig 7(d): normalized throughput vs update time (small)", "tau_ms", TauGridMs(), small, MetricThroughput),
+		figure("fig8a", "Fig 8(a): TSR vs channel size (large)", "channel_scale", ChannelScaleGrid(), large, MetricTSR),
+		figure("fig8b", "Fig 8(b): TSR vs transaction size (large)", "value_scale", ValueScaleGrid(), large, MetricTSR),
+		figure("fig8c", "Fig 8(c): TSR vs update time (large)", "tau_ms", TauGridMs(), large, MetricTSR),
+		figure("fig8d", "Fig 8(d): normalized throughput vs update time (large)", "tau_ms", TauGridMs(), large, MetricThroughput),
+		figure("figscale", "Scaling: normalized throughput vs |V| (2k-10k nodes)", "nodes", NodeCountGrid(), scale, MetricThroughput),
+		{
+			Name: "figchurn", Title: "Churn: TSR and delay vs churn rate (dynamic network)",
+			Kind: KindChurn, Base: churn, XLabel: "churn_rate",
+			Axis:        Axis{Param: "churn_rate", Values: ChurnRateGrid()},
+			Schemes:     ChurnSchemes(),
+			Description: "dynamic-network panel: six schemes + Splicer(online) under structural churn",
+		},
+		placementEntry("fig9a", "Fig 9(a): balance cost vs omega (small)", KindBalanceCost, small),
+		placementEntry("fig9b", "Fig 9(b): cost tradeoff (small)", KindTradeoff, small),
+		placementEntry("fig9c", "Fig 9(c): smooth nodes vs omega (small)", KindHubCount, small),
+		placementEntry("fig9d", "Fig 9(d): smooth nodes vs omega (large)", KindHubCount, large),
+		placementEntry("fig9e", "Fig 9(e): delay vs overhead (small)", KindDelayOverhead, small),
+		placementEntry("fig9f", "Fig 9(f): delay vs overhead (large)", KindDelayOverhead, large),
+		{
+			Name: "table1", Title: "Table I: state-of-the-art PCN scalable schemes",
+			Kind: KindStatic, Static: TableI,
+			Description: "qualitative property matrix (static)",
+		},
+		{
+			Name: "table2", Title: "Table II: influence of routing choices on Splicer's TSR",
+			Kind: KindRoutingChoices, Base: small, BaseLarge: &largeCopy,
+			Description: "routing-choice study: path type x path number x scheduler at both scales",
+		},
+		{
+			Name: "replay-snapshot", Title: "Scenario replay-snapshot: scheme comparison",
+			Kind: KindSchemeTable, Base: ReplaySnapshotSpec(), Schemes: DefaultSchemes(),
+			Description: ReplaySnapshotSpec().Description,
+		},
+		{
+			Name: "bursty-hubspoke", Title: "Scenario bursty-hubspoke: scheme comparison",
+			Kind: KindSchemeTable, Base: BurstyHubSpokeSpec(), Schemes: DefaultSchemes(),
+			Description: BurstyHubSpokeSpec().Description,
+		},
+	}
+	reg := make(map[string]*Entry, len(entries))
+	for _, e := range entries {
+		if _, dup := reg[e.Name]; dup {
+			panic(fmt.Sprintf("scenario: duplicate registry entry %q", e.Name))
+		}
+		reg[e.Name] = e
+	}
+	return reg
+}
+
+var registry = buildRegistry()
+
+// Lookup returns the named entry.
+func Lookup(name string) (*Entry, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names lists the registered entry names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,147 @@
+// Figure/table output types. These moved here from internal/experiments
+// (which now aliases them) so the scenario engine and the historical
+// experiment API render through one code path; the CSV formatting is part of
+// the golden-fixture contract and must not drift.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one (x, y) sample of a figure line.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labeled figure line.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// CSV renders the table as CSV.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// SeriesTable renders a set of series sharing X values into a table with
+// one column per series.
+func SeriesTable(title, xLabel string, series []Series) Table {
+	t := Table{Title: title, Header: []string{xLabel}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Name)
+	}
+	if len(series) == 0 {
+		return t
+	}
+	for i, p := range series[0].Points {
+		row := []string{fmt.Sprintf("%g", p.X)}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.4f", s.Points[i].Y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ChurnTable renders the churn panel: one row per churn rate, TSR and delay
+// columns per variant.
+func ChurnTable(title string, tsr, delay []Series) Table {
+	t := Table{Title: title, Header: []string{"churn_rate"}}
+	for _, s := range tsr {
+		t.Header = append(t.Header, s.Name+" TSR")
+	}
+	for _, s := range delay {
+		t.Header = append(t.Header, s.Name+" delay(s)")
+	}
+	if len(tsr) == 0 {
+		return t
+	}
+	for i, p := range tsr[0].Points {
+		row := []string{fmt.Sprintf("%g", p.X)}
+		for _, s := range tsr {
+			row = append(row, fmt.Sprintf("%.4f", s.Points[i].Y))
+		}
+		for _, s := range delay {
+			row = append(row, fmt.Sprintf("%.4f", s.Points[i].Y))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// TradeoffTable renders Fig. 9(b) points.
+func TradeoffTable(title string, points []TradeoffPoint) Table {
+	t := Table{Title: title, Header: []string{"omega", "mgmt_cost", "sync_cost", "num_hubs"}}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", p.Omega),
+			fmt.Sprintf("%.4f", p.MgmtCost),
+			fmt.Sprintf("%.4f", p.SyncCost),
+			fmt.Sprintf("%d", p.NumHubs),
+		})
+	}
+	return t
+}
+
+// DelayOverheadTable renders Fig. 9(e/f) points.
+func DelayOverheadTable(title string, points []DelayOverheadPoint) Table {
+	t := Table{Title: title, Header: []string{"omega", "with_pch", "delay_ms", "overhead"}}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", p.Omega),
+			fmt.Sprintf("%v", p.WithPCH),
+			fmt.Sprintf("%.2f", p.DelayMs),
+			fmt.Sprintf("%.3f", p.Overhead),
+		})
+	}
+	return t
+}
+
+// TableIITable renders the routing-choice study rows.
+func TableIITable(rows []TableIIRow) Table {
+	t := Table{
+		Title:  "Table II: influence of routing choices on Splicer's TSR",
+		Header: []string{"Group", "Choice", "Small", "Large"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Group, r.Choice,
+			fmt.Sprintf("%.2f%%", 100*r.Small),
+			fmt.Sprintf("%.2f%%", 100*r.Large),
+		})
+	}
+	return t
+}

@@ -133,6 +133,99 @@ func BarabasiAlbert(src *rng.Source, n, m int, capFn CapacityFunc) (*graph.Graph
 	return g, nil
 }
 
+// ErdosRenyi generates a connected G(n, p) random graph: every unordered
+// node pair gets a channel independently with probability p. The scenario
+// engine offers it as the unstructured baseline next to the small-world and
+// scale-free generators; ensureConnected stitches stray components so the
+// result is always routable.
+func ErdosRenyi(src *rng.Source, n int, p float64, capFn CapacityFunc) (*graph.Graph, error) {
+	if n <= 1 {
+		return nil, fmt.Errorf("topology: n must be >= 2, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("topology: p must be in [0,1], got %v", p)
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !src.Bool(p) {
+				continue
+			}
+			fwd, rev := capFn()
+			if _, err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), fwd, rev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ensureConnected(src, g, capFn)
+	return g, nil
+}
+
+// HierarchicalHubSpoke builds a two-tier hub hierarchy: `cores` top-level
+// hubs form a ring backbone (plus random chords for path diversity, as in
+// MultiStar), each core serves hubsPerCore mid-tier hubs, and each mid-tier
+// hub serves clientsPerHub leaf clients. Node ids are laid out tier by tier
+// — cores first, then hubs, then clients — and the returned slice lists the
+// hub-tier nodes (cores + mid-tier hubs), e.g. as placement candidates or to
+// exclude the infrastructure tier from a workload's client set.
+//
+// coreCapFn sizes core-core links, hubCapFn core-hub links, capFn the leaf
+// channels; hierarchical deployments fund the backbone much more heavily
+// than the edge.
+func HierarchicalHubSpoke(src *rng.Source, cores, hubsPerCore, clientsPerHub int, coreCapFn, hubCapFn, capFn CapacityFunc) (*graph.Graph, []graph.NodeID, error) {
+	if cores < 1 || hubsPerCore < 1 || clientsPerHub < 1 {
+		return nil, nil, fmt.Errorf("topology: hub-spoke tiers must be >= 1, got cores=%d hubs/core=%d clients/hub=%d",
+			cores, hubsPerCore, clientsPerHub)
+	}
+	numHubs := cores * hubsPerCore
+	n := cores + numHubs + numHubs*clientsPerHub
+	g := graph.New(n)
+	// Core backbone: ring plus ~cores/2 random chords.
+	for i := 0; i < cores; i++ {
+		j := (i + 1) % cores
+		if i == j || (cores == 2 && i > j) {
+			continue
+		}
+		fwd, rev := coreCapFn()
+		if _, err := g.AddEdge(graph.NodeID(i), graph.NodeID(j), fwd, rev); err != nil {
+			return nil, nil, err
+		}
+	}
+	for c := 0; c < cores/2; c++ {
+		u, v := src.IntN(cores), src.IntN(cores)
+		if u == v || g.HasEdgeBetween(graph.NodeID(u), graph.NodeID(v)) {
+			continue
+		}
+		fwd, rev := coreCapFn()
+		if _, err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), fwd, rev); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Mid tier: hub h attaches to its core, round-robin.
+	for h := 0; h < numHubs; h++ {
+		hub := graph.NodeID(cores + h)
+		core := graph.NodeID(h % cores)
+		fwd, rev := hubCapFn()
+		if _, err := g.AddEdge(hub, core, fwd, rev); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Leaves: client i attaches to hub i%numHubs.
+	for i := 0; i < numHubs*clientsPerHub; i++ {
+		client := graph.NodeID(cores + numHubs + i)
+		hub := graph.NodeID(cores + i%numHubs)
+		fwd, rev := capFn()
+		if _, err := g.AddEdge(client, hub, fwd, rev); err != nil {
+			return nil, nil, err
+		}
+	}
+	hubTier := make([]graph.NodeID, cores+numHubs)
+	for i := range hubTier {
+		hubTier[i] = graph.NodeID(i)
+	}
+	return g, hubTier, nil
+}
+
 // Star builds the single-PCH topology of Fig. 2(a): node 0 is the hub, nodes
 // 1..n-1 are clients each with one channel to the hub.
 func Star(n int, capFn CapacityFunc) (*graph.Graph, error) {

@@ -141,6 +141,39 @@ type Config struct {
 	// paper confirms its trace causes local deadlocks; this reproduces that
 	// property deterministically.
 	CirculationFraction float64
+	// OnOff switches the arrival process from homogeneous Poisson to a
+	// bursty on-off modulated Poisson process. Nil keeps the plain process
+	// (and the exact draw sequence) unchanged.
+	OnOff *OnOffConfig
+}
+
+// OnOffConfig parameterizes the bursty arrival process: exponentially
+// distributed ON and OFF phases (a Markov-modulated Poisson process), with
+// the aggregate rate scaled by OnFactor during ON phases and OffFactor
+// during OFF phases. The trace starts in an ON phase, so a burst hits the
+// network cold — the hardest case for rate-controller warm-up.
+type OnOffConfig struct {
+	// MeanOn and MeanOff are the mean phase durations in seconds.
+	MeanOn  float64
+	MeanOff float64
+	// OnFactor (> 0) and OffFactor (>= 0, typically < 1) multiply Rate
+	// during the respective phase; OffFactor 0 silences OFF phases entirely.
+	OnFactor  float64
+	OffFactor float64
+}
+
+// Validate checks the burst parameters.
+func (o OnOffConfig) Validate() error {
+	if o.MeanOn <= 0 || o.MeanOff <= 0 {
+		return fmt.Errorf("workload: on/off mean durations must be positive, got %v/%v", o.MeanOn, o.MeanOff)
+	}
+	if o.OnFactor <= 0 {
+		return fmt.Errorf("workload: OnFactor must be positive, got %v", o.OnFactor)
+	}
+	if o.OffFactor < 0 {
+		return fmt.Errorf("workload: OffFactor must be >= 0, got %v", o.OffFactor)
+	}
+	return nil
 }
 
 // Validate checks the configuration.
@@ -166,7 +199,62 @@ func (c Config) Validate() error {
 	if c.CirculationFraction < 0 || c.CirculationFraction >= 1 {
 		return fmt.Errorf("workload: circulation fraction must be in [0,1), got %v", c.CirculationFraction)
 	}
+	if c.OnOff != nil {
+		if err := c.OnOff.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// arrivalProcess walks the arrival time axis: homogeneous Poisson by
+// default, piecewise-exponential (exact, via redraw-at-boundary — the
+// process is memoryless) when OnOff is set.
+type arrivalProcess struct {
+	src      *rng.Source
+	rate     float64
+	onOff    *OnOffConfig
+	on       bool
+	phaseEnd float64
+}
+
+func newArrivalProcess(src *rng.Source, cfg Config) *arrivalProcess {
+	a := &arrivalProcess{src: src, rate: cfg.Rate, onOff: cfg.OnOff}
+	if a.onOff != nil {
+		a.on = true
+		a.phaseEnd = src.Exponential(1 / a.onOff.MeanOn)
+	}
+	return a
+}
+
+// next returns the first arrival after `now`.
+func (a *arrivalProcess) next(now float64) float64 {
+	if a.onOff == nil {
+		return now + a.src.Exponential(a.rate)
+	}
+	for {
+		rate := a.rate * a.onOff.OffFactor
+		if a.on {
+			rate = a.rate * a.onOff.OnFactor
+		}
+		t := math.Inf(1)
+		if rate > 0 {
+			t = now + a.src.Exponential(rate)
+		}
+		if t < a.phaseEnd {
+			return t
+		}
+		// The candidate falls past the phase boundary: advance to the
+		// boundary and redraw at the new phase's rate (exact for a
+		// piecewise-constant-rate Poisson process).
+		now = a.phaseEnd
+		a.on = !a.on
+		mean := a.onOff.MeanOff
+		if a.on {
+			mean = a.onOff.MeanOn
+		}
+		a.phaseEnd = now + a.src.Exponential(1/mean)
+	}
 }
 
 // Generate produces a reproducible transaction trace sorted by arrival time.
@@ -187,11 +275,13 @@ func Generate(src *rng.Source, cfg Config) ([]Tx, error) {
 	// drained — a local deadlock under naive shortest-path routing.
 	circ := circulationPattern(cfg.Clients)
 
+	arrivals := newArrivalProcess(arrivalSrc, cfg)
+
 	var txs []Tx
 	now := 0.0
 	id := 0
 	for {
-		now += arrivalSrc.Exponential(cfg.Rate)
+		now = arrivals.next(now)
 		if now >= cfg.Duration {
 			break
 		}

@@ -1,0 +1,45 @@
+package splicer
+
+import (
+	"fmt"
+
+	"github.com/splicer-pcn/splicer/internal/scenario"
+)
+
+// ScenarioSpec is a declarative simulation cell: topology × workload ×
+// optional dynamics × scheme as plain data. Load one from JSON with
+// LoadScenarioSpec (see cmd/scenarios and DESIGN.md "Scenario engine" for
+// the schema) or construct it literally.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioTable is a rendered scenario result table (CSV/Markdown).
+type ScenarioTable = scenario.Table
+
+// LoadScenarioSpec reads and validates a JSON scenario spec file.
+func LoadScenarioSpec(path string) (ScenarioSpec, error) {
+	return scenario.LoadSpec(path)
+}
+
+// RunScenarioSpec executes the spec with its own scheme and returns the
+// evaluation metrics. The run asserts the conservation-of-funds invariant
+// at the end.
+func RunScenarioSpec(spec ScenarioSpec) (Result, error) {
+	return spec.Run()
+}
+
+// ScenarioNames lists the registered named scenarios (the paper's figures
+// and tables plus the standalone scenarios), sorted.
+func ScenarioNames() []string {
+	return scenario.Names()
+}
+
+// RunNamedScenario runs a registered scenario by name on `workers` sweep
+// workers (0/1 serial, -1 all cores; results are identical for any value)
+// and returns its rendered table.
+func RunNamedScenario(name string, workers int) (ScenarioTable, error) {
+	e, ok := scenario.Lookup(name)
+	if !ok {
+		return ScenarioTable{}, fmt.Errorf("splicer: unknown scenario %q (see ScenarioNames)", name)
+	}
+	return e.Run(scenario.RunOptions{Workers: workers})
+}

@@ -1,0 +1,48 @@
+package splicer
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScenarioPublicAPI(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 18 {
+		t.Fatalf("ScenarioNames returned %d entries: %v", len(names), names)
+	}
+	table, err := RunNamedScenario("table1", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.CSV(), "Splicer") {
+		t.Fatalf("table1 CSV unexpected:\n%s", table.CSV())
+	}
+	if _, err := RunNamedScenario("figX", 1); err == nil {
+		t.Fatal("RunNamedScenario accepted an unknown name")
+	}
+}
+
+func TestRunScenarioSpecFromJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{
+		"name": "tiny", "seed": 3, "scheme": "ShortestPath",
+		"topology": {"type": "erdos-renyi", "nodes": 25, "edge_prob": 0.2},
+		"workload": {"type": "synthetic", "rate": 20, "duration": 2}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScenarioSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenarioSpec(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == 0 || res.TSR < 0 || res.TSR > 1 {
+		t.Fatalf("spec run result implausible: %+v", res)
+	}
+}
