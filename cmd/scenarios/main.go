@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"github.com/splicer-pcn/splicer/internal/scenario"
@@ -57,7 +58,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   scenarios list
   scenarios describe <name>
-  scenarios run <name>[,<name>...]|all [-out dir] [-workers N] [-seeds N]
+  scenarios run <name>[,<name>...]|all [-out dir] [-workers N] [-seeds N] [-max-mem-mb M]
   scenarios run -spec file.json [-out dir]
   scenarios diff <name> [-golden file.csv] [-out dir]`)
 }
@@ -83,6 +84,15 @@ type describeEntry struct {
 	Omegas    []float64       `json:"omegas,omitempty"`
 	Spec      json.RawMessage `json:"spec,omitempty"`
 	SpecLarge json.RawMessage `json:"spec_large,omitempty"`
+	// Footprint sizes the entry's largest cell (worst swept axis value), so
+	// 100k-node runs can be vetted against available memory up front.
+	Footprint *footprintInfo `json:"footprint,omitempty"`
+}
+
+type footprintInfo struct {
+	Nodes    int   `json:"nodes"`
+	Edges    int   `json:"edges"`
+	ApproxMB int64 `json:"approx_mb"`
 }
 
 func kindName(k scenario.Kind) string {
@@ -134,6 +144,9 @@ func describe(args []string) error {
 		}
 		out.SpecLarge = spec
 	}
+	if fp, err := e.MaxFootprint(); err == nil && fp.ApproxBytes > 0 {
+		out.Footprint = &footprintInfo{Nodes: fp.Nodes, Edges: fp.Edges, ApproxMB: fp.ApproxMB()}
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -148,6 +161,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "sweep workers: 0/1 serial, N parallel, -1 all cores (identical results)")
 	seeds := fs.Int("seeds", 1, "seeds per sweep cell; points report the across-seed mean")
 	specPath := fs.String("spec", "", "run a JSON spec file instead of a registered scenario")
+	maxMemMB := fs.Int64("max-mem-mb", 0, "fail fast when a run's estimated footprint exceeds this budget (MiB); 0 = available memory, negative = no gate")
 	// Allow `run <name> -flags` and `run -flags <name>`.
 	var names []string
 	rest := args
@@ -162,8 +176,9 @@ func run(args []string) error {
 	if *seeds > 1 {
 		opts.SeedCount = *seeds
 	}
+	budget := memBudgetMB(*maxMemMB)
 	if *specPath != "" {
-		return runSpecFile(*specPath, *outDir, opts)
+		return runSpecFile(*specPath, *outDir, opts, budget)
 	}
 	if len(names) == 0 {
 		return fmt.Errorf("run needs a scenario name, a comma list, 'all', or -spec file.json")
@@ -176,6 +191,13 @@ func run(args []string) error {
 		e, ok := scenario.Lookup(name)
 		if !ok {
 			return fmt.Errorf("unknown scenario %q (use list)", name)
+		}
+		fp, err := e.MaxFootprint()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := gateFootprint(name, fp, budget); err != nil {
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "== running %s...\n", name)
 		table, err := e.Run(opts)
@@ -190,7 +212,7 @@ func run(args []string) error {
 	return nil
 }
 
-func runSpecFile(path, outDir string, opts scenario.RunOptions) error {
+func runSpecFile(path, outDir string, opts scenario.RunOptions, budgetMB int64) error {
 	spec, err := scenario.LoadSpec(path)
 	if err != nil {
 		return err
@@ -199,6 +221,13 @@ func runSpecFile(path, outDir string, opts scenario.RunOptions) error {
 	if name == "" {
 		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		spec.Name = name
+	}
+	fp, err := scenario.EstimateFootprint(spec)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if err := gateFootprint(name, fp, budgetMB); err != nil {
+		return err
 	}
 	schemes := scenario.DefaultSchemes()
 	if spec.Scheme != "" {
@@ -214,6 +243,55 @@ func runSpecFile(path, outDir string, opts scenario.RunOptions) error {
 	}
 	fmt.Println(table.Markdown())
 	return nil
+}
+
+// memBudgetMB resolves the -max-mem-mb flag: an explicit positive budget is
+// used as-is, 0 auto-detects available memory, and a negative value (or an
+// unreadable /proc/meminfo) disables the gate (returns 0).
+func memBudgetMB(flagMB int64) int64 {
+	if flagMB > 0 {
+		return flagMB
+	}
+	if flagMB < 0 {
+		return 0
+	}
+	return availableMemMB()
+}
+
+// availableMemMB reads MemAvailable from /proc/meminfo; 0 when unknown
+// (non-Linux, restricted container), which disables the gate.
+func availableMemMB() int64 {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "MemAvailable:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb >> 10
+	}
+	return 0
+}
+
+// gateFootprint fails fast when a run's estimated resident state would not
+// fit the memory budget — the point of estimating the 100k-node cells before
+// building them. budgetMB 0 means no gate.
+func gateFootprint(name string, fp scenario.Footprint, budgetMB int64) error {
+	need := fp.ApproxMB()
+	if budgetMB <= 0 || need <= budgetMB {
+		return nil
+	}
+	return fmt.Errorf("%s: estimated footprint ~%d MiB (%d nodes / %d edges) exceeds the %d MiB memory budget; rerun with -max-mem-mb %d to override or -max-mem-mb -1 to disable the gate",
+		name, need, fp.Nodes, fp.Edges, budgetMB, need)
 }
 
 func diff(args []string) error {

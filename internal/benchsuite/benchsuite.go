@@ -12,6 +12,7 @@ package benchsuite
 
 import (
 	"fmt"
+	"reflect"
 	"regexp"
 	"runtime"
 	"testing"
@@ -20,7 +21,11 @@ import (
 	splicer "github.com/splicer-pcn/splicer"
 	"github.com/splicer-pcn/splicer/internal/experiments"
 	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/scenario"
 	"github.com/splicer-pcn/splicer/internal/sim"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
 )
 
 // Benchmark is one tracked benchmark.
@@ -65,7 +70,11 @@ func Suite(short bool) []Benchmark {
 		{Name: "path_core/unit_shortest_2000", Core: true, F: benchUnitShortest},
 		{Name: "path_core/ksp_unit_k3_2000", Core: true, F: benchKSPUnit},
 		{Name: "path_core/edw_k5_2000", Core: true, F: benchEDW},
+		{Name: "path_core/unit_shortest_10000", Core: true, F: benchUnitShortest10k},
+		{Name: "path_core/label_query_10000", Core: true, F: benchLabelQuery10k},
+		{Name: "path_core/label_build_10000", Core: false, F: benchLabelBuild10k},
 		{Name: "figures/fig8d_throughput_large", Core: false, F: figBench(short)},
+		{Name: "figures/figscale_100k", Core: false, F: figscale100kBench(short)},
 	}
 }
 
@@ -239,6 +248,87 @@ func benchEDW(b *testing.B) {
 	}
 }
 
+// labelBenchGraph builds the shared 10k-node scale-free graph plus the hub
+// roots used by the unit_shortest_10000 / label_query_10000 pair. Both
+// entries run the identical hub-rooted query stream, so their ns/op ratio is
+// the precomputation speedup, not a workload difference.
+const (
+	labelBenchNodes = 10000
+	labelBenchHubs  = 16
+)
+
+func labelBenchGraph(b *testing.B) (*graph.Graph, *graph.PathFinder, []graph.NodeID) {
+	b.Helper()
+	src := rng.New(10)
+	sizes := workload.NewChannelSizeDist(src.Split(1), 1)
+	g, err := topology.BarabasiAlbert(src.Split(2), labelBenchNodes, 3, sizes.CapacityFunc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, graph.NewPathFinder(g), topology.TopDegreeNodes(g, labelBenchHubs)
+}
+
+func labelBenchQuery(i, n int, hubs []graph.NodeID) (graph.NodeID, graph.NodeID) {
+	return hubs[i%len(hubs)], graph.NodeID((i*7919 + n/2) % n)
+}
+
+func benchUnitShortest10k(b *testing.B) {
+	g, pf, hubs := labelBenchGraph(b)
+	n := g.NumNodes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src, dst := labelBenchQuery(i, n, hubs)
+		if _, ok := pf.UnitShortestPath(src, dst); !ok {
+			b.Fatalf("%d->%d unreachable", src, dst)
+		}
+	}
+}
+
+func benchLabelQuery10k(b *testing.B) {
+	g, pf, hubs := labelBenchGraph(b)
+	n := g.NumNodes()
+	hl := graph.NewHubLabels(g, pf, hubs)
+	// Warm every hub tree (builds are measured by label_build_10000) and
+	// spot-check byte-identity against the finder on the first query window.
+	for i := 0; i < 64; i++ {
+		src, dst := labelBenchQuery(i, n, hubs)
+		lp, lok := hl.UnitShortestPath(src, dst)
+		pp, pok := pf.UnitShortestPath(src, dst)
+		if lok != pok || !reflect.DeepEqual(lp, pp) {
+			b.Fatalf("label answer for %d->%d diverged from finder", src, dst)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src, dst := labelBenchQuery(i, n, hubs)
+		if _, ok := hl.UnitShortestPath(src, dst); !ok {
+			b.Fatalf("%d->%d unreachable", src, dst)
+		}
+	}
+	b.StopTimer()
+	if st := hl.Stats(); st.Fallbacks != 0 {
+		b.Fatalf("hub-rooted stream hit %d fallbacks", st.Fallbacks)
+	}
+}
+
+func benchLabelBuild10k(b *testing.B) {
+	g, pf, hubs := labelBenchGraph(b)
+	probe := graph.NodeID(g.NumNodes() / 2)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hl := graph.NewHubLabels(g, pf, hubs)
+		for _, h := range hubs {
+			// One query per hub forces every lazy tree build.
+			if _, ok := hl.UnitShortestPath(h, probe); !ok {
+				b.Fatalf("%d->%d unreachable", h, probe)
+			}
+		}
+	}
+}
+
 // figBench mirrors the tracked BenchmarkFig8dThroughputLarge: the large
 // scenario at one τ point. Short mode trims the trace for CI budget — its
 // numbers are NOT comparable to a full run (the JSON records the mode).
@@ -263,6 +353,32 @@ func figBench(short bool) func(b *testing.B) {
 			}
 			if len(series) == 0 {
 				b.Fatal("no series")
+			}
+		}
+	}
+}
+
+// figscale100kBench runs the XL scale series' largest cell end-to-end: the
+// 100k-node scale-free graph under the hub-labels routing override, one
+// scheme. Node count stays at 100k in short mode (the point is the scale);
+// short trims only the workload.
+func figscale100kBench(short bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		spec := scenario.XLScaleSpec()
+		spec.Topology.Nodes = 100000
+		if short {
+			spec.Workload.Rate = 30
+			spec.Workload.Duration = 1
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			table, err := scenario.SchemeTable(spec, []string{"Splicer"}, scenario.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if table.CSV() == "" {
+				b.Fatal("empty table")
 			}
 		}
 	}

@@ -23,8 +23,12 @@ import (
 )
 
 // buildFuzzGraph decodes bytes into a graph: node count from the first
-// byte, then (u, v, capFwd, capRev) quadruples. Returns nil when the input
-// encodes no usable graph.
+// byte, then (u, v, capFwd, capRev) quadruples. A quadruple with u == v is
+// a churn directive instead of an edge: it removes the capFwd-selected live
+// edge, so fuzzed inputs cover post-churn graphs (tombstoned edge slots,
+// compacted adjacency) and exercise the incremental CSR maintenance, not
+// just append-only construction. Returns nil when the input encodes no
+// usable graph.
 func buildFuzzGraph(data []byte) *Graph {
 	if len(data) < 5 {
 		return nil
@@ -33,19 +37,30 @@ func buildFuzzGraph(data []byte) *Graph {
 	g := New(n)
 	rest := data[1:]
 	for len(rest) >= 4 {
-		u := NodeID(int(rest[0]) % n)
-		v := NodeID(int(rest[1]) % n)
-		capFwd := float64(rest[2]%100) + 1
-		capRev := float64(rest[3]%100) + 1
+		b0, b1, b2, b3 := rest[0], rest[1], rest[2], rest[3]
 		rest = rest[4:]
-		if u == v || g.HasEdgeBetween(u, v) {
+		u := NodeID(int(b0) % n)
+		v := NodeID(int(b1) % n)
+		if u == v { // churn directive: close the selected live edge
+			if g.NumEdges() == 0 {
+				continue
+			}
+			id := EdgeID((int(b2)<<8 | int(b3)) % g.NumEdges())
+			if !g.EdgeRemoved(id) {
+				if err := g.RemoveEdge(id); err != nil {
+					return nil
+				}
+			}
 			continue
 		}
-		if _, err := g.AddEdge(u, v, capFwd, capRev); err != nil {
+		if g.HasEdgeBetween(u, v) {
+			continue
+		}
+		if _, err := g.AddEdge(u, v, float64(b2%100)+1, float64(b3%100)+1); err != nil {
 			return nil
 		}
 	}
-	if g.NumEdges() == 0 {
+	if g.NumLiveEdges() == 0 {
 		return nil
 	}
 	return g
@@ -81,6 +96,10 @@ func FuzzPathFinder(f *testing.F) {
 	f.Add([]byte{5, 0, 1, 10, 10, 1, 2, 10, 10, 2, 3, 10, 10, 0, 3, 1, 1}, uint8(0), uint8(3), uint8(5))
 	f.Add([]byte{8, 0, 1, 50, 2, 1, 2, 50, 2, 0, 2, 1, 99, 2, 3, 7, 7}, uint8(0), uint8(2), uint8(20))
 	f.Add([]byte{3, 0, 1, 1, 1}, uint8(0), uint8(2), uint8(1))
+	// Post-churn seeds: u==v quadruples close channels mid-build, leaving
+	// tombstoned edge slots and a compacted CSR.
+	f.Add([]byte{5, 0, 1, 10, 10, 1, 2, 10, 10, 2, 3, 10, 10, 0, 3, 1, 1, 2, 2, 0, 1, 1, 2, 9, 9}, uint8(0), uint8(3), uint8(5))
+	f.Add([]byte{9, 0, 1, 20, 20, 1, 2, 20, 20, 2, 0, 20, 20, 3, 3, 0, 0, 0, 2, 5, 5, 4, 4, 0, 2, 2, 3, 8, 8}, uint8(0), uint8(3), uint8(4))
 	f.Fuzz(func(t *testing.T, data []byte, srcRaw, dstRaw, minCapRaw uint8) {
 		g := buildFuzzGraph(data)
 		if g == nil {
@@ -104,6 +123,14 @@ func FuzzPathFinder(f *testing.F) {
 			if p.Len() != hops[dst] {
 				t.Fatalf("UnitShortestPath length %d != BFS distance %d", p.Len(), hops[dst])
 			}
+		}
+
+		// A hub-label tier rooted at src must serve a byte-identical answer
+		// (the precomputed-vs-exact cross-check, on the fuzzed graph).
+		hl := NewHubLabels(g, nil, []NodeID{src})
+		lp, lok := hl.UnitShortestPath(src, dst)
+		if lok != ok || (ok && !pathsEqual(lp, p)) {
+			t.Fatalf("hub label %v/%v != finder %v/%v", lp, lok, p, ok)
 		}
 
 		// Weighted shortest path: finder vs baseline, cost-equivalent.
@@ -153,6 +180,8 @@ func FuzzKShortestPaths(f *testing.F) {
 	f.Add([]byte{6, 0, 1, 10, 10, 1, 2, 10, 10, 0, 2, 5, 5, 2, 3, 9, 9, 1, 3, 2, 2}, uint8(0), uint8(3), uint8(4))
 	f.Add([]byte{4, 0, 1, 30, 30, 1, 2, 30, 30, 0, 2, 30, 30}, uint8(0), uint8(2), uint8(3))
 	f.Add([]byte{10, 0, 9, 1, 1}, uint8(0), uint8(9), uint8(7))
+	// Post-churn: a closed channel (u==v directive) mid-build.
+	f.Add([]byte{6, 0, 1, 10, 10, 1, 2, 10, 10, 0, 2, 5, 5, 2, 3, 9, 9, 1, 1, 0, 2, 1, 3, 2, 2}, uint8(0), uint8(3), uint8(4))
 	f.Fuzz(func(t *testing.T, data []byte, srcRaw, dstRaw, kRaw uint8) {
 		g := buildFuzzGraph(data)
 		if g == nil {

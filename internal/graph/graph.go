@@ -71,12 +71,21 @@ type Graph struct {
 	adj     [][]EdgeID // node -> incident edge ids (live edges only)
 	removed []bool     // edge id -> tombstoned by RemoveEdge
 	numLive int
-	// mutations counts adjacency-shape changes (AddNode/AddEdge/RemoveEdge);
-	// PathFinder uses it to invalidate its flattened adjacency mirror.
-	// capMutations additionally counts capacity rewrites (SetCapacity),
-	// which invalidate only the mirror's per-arc capacity column.
+	// mutations counts adjacency-shape changes (AddNode/AddEdge/RemoveEdge)
+	// and doubles as the shape-journal sequence number; capMutations
+	// additionally counts capacity rewrites (SetCapacity). Since PR 6 the
+	// packed CSR adjacency is graph-owned and maintained incrementally, so
+	// the counters no longer invalidate anything — they remain as cheap
+	// change detectors for external caches.
 	mutations    uint64
 	capMutations uint64
+	// csr is the packed primary adjacency (see csr.go), built lazily on the
+	// first path query and updated in place by the mutators below.
+	csr csrState
+	// journal records shape mutations for derived-structure observers (see
+	// journal.go); journalBase is the sequence number of journal[0].
+	journal     []Mutation
+	journalBase uint64
 }
 
 // Mutations returns the adjacency mutation counter.
@@ -105,7 +114,12 @@ func (g *Graph) NumLiveEdges() int { return g.numLive }
 func (g *Graph) AddNode() NodeID {
 	g.adj = append(g.adj, nil)
 	g.mutations++
-	return NodeID(len(g.adj) - 1)
+	id := NodeID(len(g.adj) - 1)
+	g.journalAppend(Mutation{Kind: MutAddNode, Edge: -1, U: id, V: -1})
+	if g.csr.ok {
+		g.csrAddNode()
+	}
+	return id
 }
 
 // AddEdge adds an undirected edge between u and v with the given directional
@@ -124,6 +138,10 @@ func (g *Graph) AddEdge(u, v NodeID, capFwd, capRev float64) (EdgeID, error) {
 	g.adj[v] = append(g.adj[v], id)
 	g.numLive++
 	g.mutations++
+	g.journalAppend(Mutation{Kind: MutAddEdge, Edge: id, U: u, V: v})
+	if g.csr.ok {
+		g.csrAddEdge(id)
+	}
 	return id, nil
 }
 
@@ -140,11 +158,15 @@ func (g *Graph) RemoveEdge(id EdgeID) error {
 		return fmt.Errorf("graph: edge %d already removed", id)
 	}
 	e := g.edges[id]
+	if g.csr.ok {
+		g.csrRemoveEdge(id) // before the tombstone, while pos is live
+	}
 	g.adj[e.U] = dropEdgeID(g.adj[e.U], id)
 	g.adj[e.V] = dropEdgeID(g.adj[e.V], id)
 	g.removed[id] = true
 	g.numLive--
 	g.mutations++
+	g.journalAppend(Mutation{Kind: MutRemoveEdge, Edge: id, U: e.U, V: e.V})
 	return nil
 }
 
@@ -167,11 +189,16 @@ func (g *Graph) EdgeRemoved(id EdgeID) bool {
 // Edge returns the edge with the given ID.
 func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 
-// SetCapacity updates the directional capacities of an edge.
+// SetCapacity updates the directional capacities of an edge. With the CSR
+// built, the rewrite lands as two O(1) arc-slot writes — a top-up never
+// invalidates the packed adjacency.
 func (g *Graph) SetCapacity(id EdgeID, capFwd, capRev float64) {
 	g.edges[id].CapFwd = capFwd
 	g.edges[id].CapRev = capRev
 	g.capMutations++
+	if g.csr.ok {
+		g.csrSetCapacity(id)
+	}
 }
 
 // Incident returns the IDs of edges incident to node u. The returned slice

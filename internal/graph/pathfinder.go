@@ -41,27 +41,14 @@ type PathFinder struct {
 	edgeStamp []uint32
 	edgeGen   uint32
 
-	// uheap and the CSR arrays below serve the unit-weight fast path: the
-	// adjacency lists flattened into (start, eid, other) arrays so the
-	// relaxation loop reads two int32s per arc instead of chasing slice
-	// headers and 40-byte Edge structs. The mirror is rebuilt lazily when
-	// the graph's adjacency mutation counter moves (channel opens/closes,
-	// node churn); capacities are not mirrored, so capacity updates cost
-	// nothing. Arc order matches g.adj exactly — traversal order is
-	// observable through Dijkstra tie-breaking and must not change.
-	uheap    unitHeap
-	csrStart []int32
-	// csrArc packs (other<<32 | eid) per arc: one load yields both the
-	// neighbor and the edge id.
-	csrArc []uint64
-	csrMut uint64
-	csrOK  bool
-	// csrCap mirrors the directional capacity out of each arc for
-	// widestPath; it shares the arc layout above but invalidates on
-	// capacity rewrites too (csrCapMut tracks Graph.CapMutations).
-	csrCap    []float64
-	csrCapMut uint64
-	csrCapOK  bool
+	// uheap serves the unit-weight fast path. The packed arc arrays the
+	// fast paths iterate are no longer finder-private: they live on the
+	// Graph itself (see csr.go) and are maintained incrementally by the
+	// mutators, so a channel open/close costs O(degree) and a top-up O(1)
+	// instead of an O(E) mirror rebuild. Arc order matches g.adj exactly —
+	// traversal order is observable through Dijkstra tie-breaking and must
+	// not change.
+	uheap unitHeap
 
 	// spur scratch: Yen's spur paths are consumed immediately (spliced into
 	// a freshly allocated total path), so they reconstruct into reusable
@@ -127,66 +114,6 @@ func (pf *PathFinder) beginEdgeSet() {
 		clear(pf.edgeStamp)
 		pf.edgeGen = 1
 	}
-}
-
-// ensureCSR refreshes the flattened adjacency mirror if the graph's shape
-// changed since the last build.
-func (pf *PathFinder) ensureCSR() {
-	g := pf.g
-	if pf.csrOK && pf.csrMut == g.Mutations() {
-		return
-	}
-	n := g.NumNodes()
-	total := 0
-	for _, a := range g.adj {
-		total += len(a)
-	}
-	if cap(pf.csrStart) < n+1 {
-		pf.csrStart = make([]int32, 0, 2*(n+1))
-	}
-	if cap(pf.csrArc) < total {
-		pf.csrArc = make([]uint64, 0, 2*total)
-	}
-	pf.csrStart = pf.csrStart[:0]
-	pf.csrArc = pf.csrArc[:0]
-	for u := 0; u < n; u++ {
-		pf.csrStart = append(pf.csrStart, int32(len(pf.csrArc)))
-		for _, eid := range g.adj[u] {
-			e := &g.edges[eid]
-			other := uint64(uint32(int(e.U) + int(e.V) - u))
-			pf.csrArc = append(pf.csrArc, other<<32|uint64(uint32(eid)))
-		}
-	}
-	pf.csrStart = append(pf.csrStart, int32(len(pf.csrArc)))
-	pf.csrMut = g.Mutations()
-	pf.csrOK = true
-	pf.csrCapOK = false // arc layout changed; the capacity column is stale
-}
-
-// ensureCSRCaps refreshes the per-arc capacity column of the adjacency
-// mirror (widestPath's relaxation input).
-func (pf *PathFinder) ensureCSRCaps() {
-	pf.ensureCSR()
-	g := pf.g
-	if pf.csrCapOK && pf.csrCapMut == g.CapMutations() {
-		return
-	}
-	if cap(pf.csrCap) < len(pf.csrArc) {
-		pf.csrCap = make([]float64, 0, cap(pf.csrArc))
-	}
-	pf.csrCap = pf.csrCap[:len(pf.csrArc)]
-	for u := 0; u < g.NumNodes(); u++ {
-		for i, end := pf.csrStart[u], pf.csrStart[u+1]; i < end; i++ {
-			e := &g.edges[uint32(pf.csrArc[i])]
-			if e.U == NodeID(u) {
-				pf.csrCap[i] = e.CapFwd
-			} else {
-				pf.csrCap[i] = e.CapRev
-			}
-		}
-	}
-	pf.csrCapMut = g.CapMutations()
-	pf.csrCapOK = true
 }
 
 func (pf *PathFinder) banEdge(id EdgeID) { pf.edgeStamp[id] = pf.edgeGen }
@@ -284,7 +211,7 @@ func (pf *PathFinder) shortestUnit(src, dst NodeID, banEdges, banNodes bool) (Pa
 // arrays; it reports whether dst was reached.
 func (pf *PathFinder) runUnit(src, dst NodeID, banEdges, banNodes bool) bool {
 	pf.begin()
-	pf.ensureCSR()
+	pf.g.csrEnsure()
 	pf.uheap.reset()
 	sd := pf.query << 1
 	// Local copies of the scratch arrays: none of them grow during the
@@ -293,7 +220,7 @@ func (pf *PathFinder) runUnit(src, dst NodeID, banEdges, banNodes bool) bool {
 	// state and would otherwise force reloads).
 	state, dist := pf.state, pf.dist
 	prevEdge, prevNode := pf.prevEdge, pf.prevNode
-	csrStart, csrArc := pf.csrStart, pf.csrArc
+	span, slab := pf.g.csr.span, pf.g.csr.slab
 	dist[src] = 0
 	prevEdge[src] = -1
 	prevNode[src] = -1
@@ -310,7 +237,8 @@ func (pf *PathFinder) runUnit(src, dst NodeID, banEdges, banNodes bool) bool {
 		}
 		nd := du + 1
 		fnd := float64(nd)
-		arcs := csrArc[csrStart[u]:csrStart[u+1]]
+		s := span[u]
+		arcs := slab[s.off : s.off+s.n]
 		if !banEdges && !banNodes {
 			// Clean variant (first searches, landmark detours, access
 			// paths): no ban checks in the inner loop at all.
@@ -370,14 +298,14 @@ func (pf *PathFinder) UnitShortestPaths(src NodeID, dsts []NodeID) []Path {
 		return out
 	}
 	pf.begin()
-	pf.ensureCSR()
+	pf.g.csrEnsure()
 	pf.uheap.reset()
 	sd := pf.query << 1
 	reached := make([]bool, len(dsts))
 	remaining := len(dsts)
 	state, dist := pf.state, pf.dist
 	prevEdge, prevNode := pf.prevEdge, pf.prevNode
-	csrStart, csrArc := pf.csrStart, pf.csrArc
+	span, slab := pf.g.csr.span, pf.g.csr.slab
 	dist[src] = 0
 	prevEdge[src] = -1
 	prevNode[src] = -1
@@ -400,7 +328,8 @@ func (pf *PathFinder) UnitShortestPaths(src NodeID, dsts []NodeID) []Path {
 		}
 		nd := du + 1
 		fnd := float64(nd)
-		for _, arc := range csrArc[csrStart[u]:csrStart[u+1]] {
+		s := span[u]
+		for _, arc := range slab[s.off : s.off+s.n] {
 			v := NodeID(arc >> 32)
 			sv := state[v]
 			if sv == sd|1 {
@@ -435,11 +364,11 @@ func (pf *PathFinder) WidestPath(src, dst NodeID) (Path, bool) {
 // cloned graph did, without the clone.
 func (pf *PathFinder) widestPath(src, dst NodeID, masked bool) (Path, bool) {
 	pf.begin()
-	pf.ensureCSRCaps()
+	pf.g.csrEnsure()
 	sd := pf.query << 1
 	state, dist, hops := pf.state, pf.dist, pf.hops
 	prevEdge, prevNode := pf.prevEdge, pf.prevNode
-	csrStart, csrCap := pf.csrStart, pf.csrCap
+	span, slab, csrCap := pf.g.csr.span, pf.g.csr.slab, pf.g.csr.caps
 	dist[src] = math.Inf(1) // dist doubles as the bottleneck width
 	hops[src] = 0
 	prevEdge[src] = -1
@@ -457,9 +386,10 @@ func (pf *PathFinder) widestPath(src, dst NodeID, masked bool) (Path, bool) {
 		}
 		du := dist[u]
 		dh := hops[u] + 1
-		start, end := csrStart[u], csrStart[u+1]
+		s := span[u]
+		start, end := s.off, s.off+s.n
 		caps := csrCap[start:end]
-		for i, arc := range pf.csrArc[start:end] {
+		for i, arc := range slab[start:end] {
 			eid := EdgeID(uint32(arc))
 			if masked && pf.edgeStamp[eid] == pf.edgeGen {
 				continue
@@ -547,6 +477,22 @@ func (pf *PathFinder) kShortestPaths(src, dst NodeID, k int, w WeightFunc, unit 
 	if !ok {
 		return nil
 	}
+	return pf.kShortestPathsFrom(first, dst, k, w, unit)
+}
+
+// kShortestPathsFrom is Yen's continuation given a precomputed first path
+// (first.Nodes[0] is the source). Yen's rounds depend only on the result
+// set and the graph, so seeding with a first path equal to what the initial
+// Dijkstra would return yields output identical to kShortestPaths — which
+// is how the hub-label tier accelerates k-shortest queries: the label tree
+// supplies the first path for free and the spur searches proceed exactly
+// as before.
+func (pf *PathFinder) kShortestPathsFrom(first Path, dst NodeID, k int, w WeightFunc, unit bool) []Path {
+	if k <= 0 {
+		return nil
+	}
+	pf.ensure()
+	pf.ensureEdges()
 	g := pf.g
 	result := []Path{first}
 	seen := map[string]bool{pathKey(first): true}
@@ -623,8 +569,9 @@ func (pf *PathFinder) kShortestPaths(src, dst NodeID, k int, w WeightFunc, unit 
 					pf.spurNodes[:0], pf.spurEdges[:0], prev.Nodes[i], dst, pf.prevNode, pf.prevEdge)
 				spur = Path{Nodes: pf.spurNodes, Edges: pf.spurEdges}
 			} else {
-				spur, ok = pf.ShortestPath(prev.Nodes[i], dst, wf)
-				if !ok {
+				var spurOK bool
+				spur, spurOK = pf.ShortestPath(prev.Nodes[i], dst, wf)
+				if !spurOK {
 					continue
 				}
 			}

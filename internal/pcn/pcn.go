@@ -53,6 +53,31 @@ func SchemeByName(name string) (Scheme, error) {
 	return 0, fmt.Errorf("pcn: unknown scheme %q", name)
 }
 
+// RoutingOverride selects the backend answering the schemes' unit-weight
+// shortest-path queries. The answers are byte-identical either way (the
+// hub-label tier serves only hub-rooted queries, with exact fallback), so
+// the override is purely a performance knob — golden panels do not move.
+type RoutingOverride int
+
+const (
+	// RoutingExact computes every query with the exact PathFinder (default).
+	RoutingExact RoutingOverride = iota
+	// RoutingHubLabels serves hub-rooted queries from precomputed per-hub
+	// shortest-path trees (graph.HubLabels), repaired incrementally under
+	// churn, and falls back to the exact finder for everything else.
+	RoutingHubLabels
+)
+
+func (r RoutingOverride) String() string {
+	switch r {
+	case RoutingExact:
+		return "exact"
+	case RoutingHubLabels:
+		return "hub-labels"
+	}
+	return fmt.Sprintf("RoutingOverride(%d)", int(r))
+}
+
 // Config parameterizes a simulation. NewConfig supplies the paper's §V-A
 // defaults.
 type Config struct {
@@ -68,6 +93,11 @@ type Config struct {
 	NumPaths int
 	// PathType selects the path computation (paper default: EDW).
 	PathType routing.PathType
+	// RoutingOverride selects the route-computation backend for the
+	// unit-weight access/detour queries (default RoutingExact). Results are
+	// identical either way; RoutingHubLabels trades precomputation for
+	// per-query speed on hub-heavy workloads.
+	RoutingOverride RoutingOverride
 	// Scheduler orders channel waiting queues (paper default: LIFO).
 	Scheduler channel.Scheduler
 
@@ -180,6 +210,9 @@ func (c *Config) Validate() error {
 	if c.Scheduler == nil {
 		return fmt.Errorf("pcn: nil scheduler")
 	}
+	if c.RoutingOverride != RoutingExact && c.RoutingOverride != RoutingHubLabels {
+		return fmt.Errorf("pcn: invalid routing override %d", int(c.RoutingOverride))
+	}
 	return nil
 }
 
@@ -217,6 +250,16 @@ type Network struct {
 	pathFinder *graph.PathFinder
 	pathsFor   map[pairKey][]graph.Path
 	rateCtl    map[pairKey]*routing.RateController
+
+	// Hub-label precomputation tier (Config.RoutingOverride ==
+	// RoutingHubLabels): labels serves hub-rooted unit queries from per-hub
+	// trees. labelSeeds holds policy-registered roots beyond the hub set
+	// (Landmark's landmarks); labelGen/rootGen detect root-set changes so
+	// SetHubs or a re-placement rebuilds the tier lazily.
+	labels     *graph.HubLabels
+	labelSeeds []graph.NodeID
+	rootGen    uint64
+	labelGen   uint64
 
 	// Serialized compute resources: next-free time per sender (source
 	// routing) or per hub.
@@ -315,6 +358,15 @@ func (n *Network) SetHubs(hubs []graph.NodeID) {
 	for _, h := range hubs {
 		n.isHub[h] = true
 	}
+	n.rootGen++
+}
+
+// AddLabelRoots registers additional hub-label roots (policies with private
+// root sets, like Landmark's landmark list). Idempotent root growth; the
+// label tier rebuilds lazily on the next query.
+func (n *Network) AddLabelRoots(roots []graph.NodeID) {
+	n.labelSeeds = append(n.labelSeeds, roots...)
+	n.rootGen++
 }
 
 // SetManagingHub assigns a client to a managing hub (SchemePolicy.Setup).
@@ -542,6 +594,55 @@ func (n *Network) PathFinder() *graph.PathFinder {
 	return n.pathFinder
 }
 
+// HubLabels returns the route-precomputation tier, or nil when the config
+// runs exact routing or no roots are installed yet. The tier is rebuilt
+// (lazily, here) whenever the root set changed since the last query; churn
+// between queries is handled by the labels' own incremental repair.
+func (n *Network) HubLabels() *graph.HubLabels {
+	if n.cfg.RoutingOverride != RoutingHubLabels {
+		return nil
+	}
+	if len(n.hubs) == 0 && len(n.labelSeeds) == 0 {
+		return nil
+	}
+	if n.labels == nil || n.labelGen != n.rootGen {
+		roots := make([]graph.NodeID, 0, len(n.hubs)+len(n.labelSeeds))
+		roots = append(roots, n.hubs...)
+		roots = append(roots, n.labelSeeds...)
+		n.labels = graph.NewHubLabels(n.g, n.PathFinder(), roots)
+		n.labelGen = n.rootGen
+	}
+	return n.labels
+}
+
+// unitShortestPath answers a unit-weight shortest-path query through the
+// configured routing backend: the hub-label tier when enabled (served for
+// hub-rooted sources, exact fallback otherwise), the shared PathFinder when
+// not. Answers are byte-identical across backends.
+func (n *Network) unitShortestPath(from, to graph.NodeID) (graph.Path, bool) {
+	if hl := n.HubLabels(); hl != nil {
+		return hl.UnitShortestPath(from, to)
+	}
+	return n.PathFinder().UnitShortestPath(from, to)
+}
+
+// unitShortestPaths is the multi-target form of unitShortestPath.
+func (n *Network) unitShortestPaths(from graph.NodeID, dsts []graph.NodeID) []graph.Path {
+	if hl := n.HubLabels(); hl != nil {
+		return hl.UnitShortestPaths(from, dsts)
+	}
+	return n.PathFinder().UnitShortestPaths(from, dsts)
+}
+
+// kShortestPathsUnit routes KShortestPathsUnit through the configured
+// backend (the label tier seeds Yen's first path when the source is a hub).
+func (n *Network) kShortestPathsUnit(from, to graph.NodeID, k int) []graph.Path {
+	if hl := n.HubLabels(); hl != nil {
+		return hl.KShortestPathsUnit(from, to, k)
+	}
+	return n.PathFinder().KShortestPathsUnit(from, to, k)
+}
+
 // InvalidateRoutes evicts every cached path set and the per-pair probe
 // registry. Topology mutations (ReshapeMultiStar, CapitalizeHubs, or any
 // out-of-package Setup that reshapes the graph) call this so stale paths
@@ -593,6 +694,16 @@ type Result struct {
 	TotalFees            float64
 	MeanImbalance        float64 // mean end-state channel imbalance in [0,1]
 	DeadlockedChannels   int     // channels fully drained in one direction
+
+	// Route-computation effectiveness: RouteCache activity over the run and,
+	// when RoutingHubLabels is on, hub-label tier activity (zero otherwise).
+	RouteCacheHits          int // cached path sets reused
+	RouteCacheMisses        int // path sets computed
+	RouteCacheInvalidations int // whole-cache evictions (topology reshapes)
+	LabelServed             int // unit queries answered from a hub tree
+	LabelFallbacks          int // unit queries routed to the exact finder
+	LabelBuilds             int // per-hub tree constructions (incl. repairs)
+	LabelRepairs            int // tree rebuilds forced by churn staleness
 }
 
 // Run executes the trace and returns the summary. The horizon extends past
@@ -725,5 +836,25 @@ func (n *Network) summarize() Result {
 		r.MeanImbalance = imb / float64(open)
 	}
 	r.DeadlockedChannels = dead
+
+	// Flush the route-computation counters into the metrics registry (they
+	// accumulate in the cache/label tier, not per-event) and the Result.
+	r.RouteCacheHits = int(n.routes.Hits())
+	r.RouteCacheMisses = int(n.routes.Misses())
+	r.RouteCacheInvalidations = int(n.routes.Generation())
+	n.metrics.AddHandle(n.mh.routeCacheHits, float64(r.RouteCacheHits)-n.metrics.Counter("route_cache_hits"))
+	n.metrics.AddHandle(n.mh.routeCacheMisses, float64(r.RouteCacheMisses)-n.metrics.Counter("route_cache_misses"))
+	n.metrics.AddHandle(n.mh.routeCacheInvalidations, float64(r.RouteCacheInvalidations)-n.metrics.Counter("route_cache_invalidations"))
+	if n.labels != nil {
+		st := n.labels.Stats()
+		r.LabelServed = int(st.Served)
+		r.LabelFallbacks = int(st.Fallbacks)
+		r.LabelBuilds = int(st.Builds)
+		r.LabelRepairs = int(st.Repairs)
+		n.metrics.AddHandle(n.mh.labelServed, float64(r.LabelServed)-n.metrics.Counter("label_served"))
+		n.metrics.AddHandle(n.mh.labelFallbacks, float64(r.LabelFallbacks)-n.metrics.Counter("label_fallbacks"))
+		n.metrics.AddHandle(n.mh.labelBuilds, float64(r.LabelBuilds)-n.metrics.Counter("label_builds"))
+		n.metrics.AddHandle(n.mh.labelRepairs, float64(r.LabelRepairs)-n.metrics.Counter("label_repairs"))
+	}
 	return r
 }

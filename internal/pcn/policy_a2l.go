@@ -59,15 +59,17 @@ func (a2lPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, e
 	hub := n.hubs[0]
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: 1}
 	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
-		pf := n.PathFinder()
+		// Unit-weight queries (UnitShortestPath is bit-identical to
+		// ShortestPath with UnitWeight), so the hub→recipient leg is served
+		// from the label tier when the override is on.
 		if hub == tx.Sender || hub == tx.Recipient {
-			if p, found := pf.ShortestPath(tx.Sender, tx.Recipient, graph.UnitWeight); found {
+			if p, found := n.unitShortestPath(tx.Sender, tx.Recipient); found {
 				return []graph.Path{p}, nil
 			}
 			return nil, nil
 		}
-		p1, ok1 := pf.ShortestPath(tx.Sender, hub, graph.UnitWeight)
-		p2, ok2 := pf.ShortestPath(hub, tx.Recipient, graph.UnitWeight)
+		p1, ok1 := n.unitShortestPath(tx.Sender, hub)
+		p2, ok2 := n.unitShortestPath(hub, tx.Recipient)
 		if !ok1 || !ok2 {
 			return nil, nil
 		}

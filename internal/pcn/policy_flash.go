@@ -63,7 +63,7 @@ func (p *flashPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocati
 	}
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: routing.KSP, K: n.cfg.FlashMicePaths}
 	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
-		return n.PathFinder().KShortestPathsUnit(tx.Sender, tx.Recipient, n.cfg.FlashMicePaths), nil
+		return n.kShortestPathsUnit(tx.Sender, tx.Recipient, n.cfg.FlashMicePaths), nil
 	})
 	if err != nil {
 		return nil, nil, err

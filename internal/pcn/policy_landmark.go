@@ -16,6 +16,9 @@ type landmarkPolicy struct {
 
 func (p *landmarkPolicy) Setup(n *Network) error {
 	p.landmarks = topology.TopDegreeNodes(n.g, n.cfg.NumPaths)
+	// The landmark→recipient detour tails are landmark-rooted unit queries,
+	// so the label tier can precompute them when the override is on.
+	n.AddLabelRoots(p.landmarks)
 	return nil
 }
 
@@ -24,7 +27,6 @@ func (p *landmarkPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Alloc
 	// shared route cache instead of recomputing the per-landmark detours.
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: n.cfg.NumPaths}
 	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
-		pf := n.PathFinder()
 		// One multi-target Dijkstra from the sender covers every
 		// sender-side detour head (and the direct path for a landmark that
 		// is itself an endpoint); only the landmark→recipient tails need
@@ -38,7 +40,7 @@ func (p *landmarkPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Alloc
 				heads[i] = lm
 			}
 		}
-		headPaths := pf.UnitShortestPaths(tx.Sender, heads)
+		headPaths := n.unitShortestPaths(tx.Sender, heads)
 		var out []graph.Path
 		for i, lm := range p.landmarks {
 			p1 := headPaths[i]
@@ -51,7 +53,7 @@ func (p *landmarkPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Alloc
 			if p1.Len() == 0 {
 				continue
 			}
-			p2, ok2 := pf.UnitShortestPath(lm, tx.Recipient)
+			p2, ok2 := n.unitShortestPath(lm, tx.Recipient)
 			if ok2 {
 				out = append(out, concatPaths(p1, p2))
 			}

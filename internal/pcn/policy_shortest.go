@@ -13,7 +13,7 @@ type shortestPathPolicy struct{ basePolicy }
 func (shortestPathPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: routing.KSP, K: 1}
 	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
-		p, ok := n.PathFinder().UnitShortestPath(tx.Sender, tx.Recipient)
+		p, ok := n.unitShortestPath(tx.Sender, tx.Recipient)
 		if !ok {
 			return nil, nil
 		}

@@ -41,7 +41,7 @@ func (n *Network) accessPath(from, to graph.NodeID) (graph.Path, bool) {
 	if from == to {
 		return graph.Path{Nodes: []graph.NodeID{from}}, true
 	}
-	return n.PathFinder().UnitShortestPath(from, to)
+	return n.unitShortestPath(from, to)
 }
 
 // concatPaths joins a→b, b→c, c→d walks sharing their junction nodes.

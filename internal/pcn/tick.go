@@ -101,6 +101,13 @@ type metricHandles struct {
 	tuSent, tuQueued, tuCompleted, tuFailed, tuMarked        sim.CounterHandle
 	txDelay, queueDelay                                      sim.SampleHandle
 	tuFailedReason, txFailedReason                           map[string]sim.CounterHandle
+
+	// Route-computation effectiveness counters, flushed once per run by
+	// summarize() from the RouteCache and hub-label snapshots so they land in
+	// the same metrics registry (and hence the panel CSVs) as the payment
+	// counters.
+	routeCacheHits, routeCacheMisses, routeCacheInvalidations sim.CounterHandle
+	labelServed, labelFallbacks, labelBuilds, labelRepairs    sim.CounterHandle
 }
 
 func (n *Network) initMetricHandles() {
@@ -120,6 +127,14 @@ func (n *Network) initMetricHandles() {
 		queueDelay:     m.SampleHandle("queue_delay"),
 		tuFailedReason: map[string]sim.CounterHandle{},
 		txFailedReason: map[string]sim.CounterHandle{},
+
+		routeCacheHits:          m.CounterHandle("route_cache_hits"),
+		routeCacheMisses:        m.CounterHandle("route_cache_misses"),
+		routeCacheInvalidations: m.CounterHandle("route_cache_invalidations"),
+		labelServed:             m.CounterHandle("label_served"),
+		labelFallbacks:          m.CounterHandle("label_fallbacks"),
+		labelBuilds:             m.CounterHandle("label_builds"),
+		labelRepairs:            m.CounterHandle("label_repairs"),
 	}
 }
 

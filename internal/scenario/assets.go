@@ -5,6 +5,7 @@
 package scenario
 
 import (
+	"compress/gzip"
 	"embed"
 	"fmt"
 	"io"
@@ -17,15 +18,21 @@ import (
 	"github.com/splicer-pcn/splicer/internal/workload"
 )
 
-//go:embed assets/*.csv
+//go:embed assets/*.csv assets/*.csv.gz
 var assetFS embed.FS
 
-// builtinAssets maps builtin names to embedded files.
+// builtinAssets maps builtin names to embedded files. Files ending in .gz
+// are decompressed transparently by openAsset.
 var builtinAssets = map[string]string{
 	// ln-small: an 80-node scale-free (Barabási–Albert m=2) channel graph
 	// with LN-calibrated channel sizes — a stand-in for a captured Lightning
 	// subgraph snapshot.
 	"ln-small": "assets/ln_snapshot_small.csv",
+	// ln-mainnet: a Lightning-mainnet-sized channel graph (~15k nodes, ~80k
+	// channels): Barabási–Albert m=5 growth plus degree-biased extra channels
+	// between established nodes, LN-calibrated channel sizes. Regenerate with
+	// `SPLICER_REGEN_ASSETS=1 go test ./internal/scenario -run RegenAssets`.
+	"ln-mainnet": "assets/ln_snapshot_mainnet.csv.gz",
 	// replay-small: a 5-second, ~60 tx/s Zipf-skewed payment trace over the
 	// ln-small node set, with the §II-B circulation component.
 	"replay-small": "assets/trace_replay_small.csv",
@@ -42,16 +49,50 @@ func BuiltinAssets() []string {
 }
 
 // openAsset resolves a file reference: "builtin:<name>" from the embedded
-// set, anything else from the filesystem.
+// set, anything else from the filesystem. A .gz suffix on the resolved file
+// is decompressed transparently, so large snapshots ship compressed.
 func openAsset(ref string) (io.ReadCloser, error) {
+	path := ref
+	var f io.ReadCloser
+	var err error
 	if name, ok := strings.CutPrefix(ref, "builtin:"); ok {
-		path, ok := builtinAssets[name]
+		path, ok = builtinAssets[name]
 		if !ok {
 			return nil, fmt.Errorf("scenario: unknown builtin asset %q (have %v)", name, BuiltinAssets())
 		}
-		return assetFS.Open(path)
+		f, err = assetFS.Open(path)
+	} else {
+		f, err = os.Open(path)
 	}
-	return os.Open(ref)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("scenario: open %s: %w", path, err)
+	}
+	return &gzipAsset{zr: zr, f: f}, nil
+}
+
+// gzipAsset closes both the decompressor and the underlying file.
+type gzipAsset struct {
+	zr *gzip.Reader
+	f  io.Closer
+}
+
+func (g *gzipAsset) Read(p []byte) (int, error) { return g.zr.Read(p) }
+
+func (g *gzipAsset) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
 }
 
 func loadSnapshotAsset(ref string) (*graph.Graph, error) {

@@ -1,0 +1,113 @@
+package scenario
+
+// Generator and pins for the large builtin assets. The mainnet-size
+// snapshot is checked in compressed; TestRegenAssets rebuilds it
+// deterministically when SPLICER_REGEN_ASSETS=1 is set, and the pin test
+// keeps the shipped file honest (anyone who regenerates with different
+// parameters trips the counts).
+
+import (
+	"compress/gzip"
+	"os"
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// Mainnet snapshot shape: public-Lightning scale (~15k active nodes, ~80k
+// channels) as of the paper's evaluation era.
+const (
+	mainnetSnapshotSeed  = 20230701
+	mainnetSnapshotNodes = 15000
+	mainnetSnapshotEdges = 80000
+	mainnetSnapshotPath  = "assets/ln_snapshot_mainnet.csv.gz"
+)
+
+// generateMainnetGraph builds the ln-mainnet channel graph: Barabási–Albert
+// m=5 growth (the LN degree skew), then degree-biased extra channels
+// between established nodes up to the target count — mirroring how
+// well-connected routing nodes keep opening channels to each other.
+func generateMainnetGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	src := rng.New(mainnetSnapshotSeed)
+	sizes := workload.NewChannelSizeDist(src.Split(1), 1)
+	capFn := sizes.CapacityFunc()
+	g, err := topology.BarabasiAlbert(src.Split(2), mainnetSnapshotNodes, 5, capFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degree-biased augmentation: sampling endpoints from the edge-endpoint
+	// multiset is proportional to current degree (preferential attachment).
+	aug := src.Split(3)
+	ends := make([]graph.NodeID, 0, 2*g.NumEdges())
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		ends = append(ends, e.U, e.V)
+	}
+	for g.NumEdges() < mainnetSnapshotEdges {
+		u := ends[aug.IntN(len(ends))]
+		v := ends[aug.IntN(len(ends))]
+		if u == v || g.HasEdgeBetween(u, v) {
+			continue
+		}
+		fwd, rev := capFn()
+		if _, err := g.AddEdge(u, v, fwd, rev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestRegenAssets rewrites the generated builtin assets in place. Gated so
+// a normal test run never touches the working tree:
+//
+//	SPLICER_REGEN_ASSETS=1 go test ./internal/scenario -run RegenAssets
+func TestRegenAssets(t *testing.T) {
+	if os.Getenv("SPLICER_REGEN_ASSETS") == "" {
+		t.Skip("set SPLICER_REGEN_ASSETS=1 to regenerate checked-in assets")
+	}
+	g := generateMainnetGraph(t)
+	f, err := os.Create(mainnetSnapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw, err := gzip.NewWriterLevel(f, gzip.BestCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.WriteSnapshot(zw, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d nodes, %d channels", mainnetSnapshotPath, g.NumNodes(), g.NumEdges())
+}
+
+// TestMainnetSnapshotPinned loads the shipped asset through the normal
+// builtin path (exercising the gzip decompression) and pins its shape.
+func TestMainnetSnapshotPinned(t *testing.T) {
+	g, err := loadSnapshotAsset("builtin:ln-mainnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != mainnetSnapshotNodes {
+		t.Fatalf("ln-mainnet has %d nodes, want %d", g.NumNodes(), mainnetSnapshotNodes)
+	}
+	if g.NumEdges() != mainnetSnapshotEdges {
+		t.Fatalf("ln-mainnet has %d channels, want %d", g.NumEdges(), mainnetSnapshotEdges)
+	}
+	// BA growth keeps the graph connected; the augmentation only adds edges.
+	hops := g.BFSHops(0)
+	for v, h := range hops {
+		if h < 0 {
+			t.Fatalf("ln-mainnet is disconnected: node %d unreachable", v)
+		}
+	}
+}

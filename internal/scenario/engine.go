@@ -244,7 +244,8 @@ func SchemeTable(base Spec, schemeNames []string, opts RunOptions) (Table, error
 	}
 	t := Table{
 		Title:  fmt.Sprintf("Scenario %s: scheme comparison", base.Name),
-		Header: []string{"scheme", "tsr", "norm_throughput", "mean_delay_s", "mean_queue_delay_s", "mean_imbalance"},
+		Header: []string{"scheme", "tsr", "norm_throughput", "mean_delay_s", "mean_queue_delay_s", "mean_imbalance",
+			"cache_hit_rate", "label_served", "label_repairs"},
 	}
 	byScheme := map[pcn.Scheme]sweep.Summary{}
 	for _, s := range sweep.Aggregate(results) {
@@ -259,6 +260,9 @@ func SchemeTable(base Spec, schemeNames []string, opts RunOptions) (Table, error
 			fmt.Sprintf("%.4f", s.MeanDelay.Mean),
 			fmt.Sprintf("%.4f", s.MeanQueueDelay.Mean),
 			fmt.Sprintf("%.4f", s.MeanImbalance.Mean),
+			fmt.Sprintf("%.4f", s.CacheHitRate.Mean),
+			fmt.Sprintf("%.1f", s.LabelServed.Mean),
+			fmt.Sprintf("%.1f", s.LabelRepairs.Mean),
 		})
 	}
 	return t, nil

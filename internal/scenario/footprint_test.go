@@ -1,0 +1,60 @@
+package scenario
+
+import "testing"
+
+func TestEstimateFootprintGenerators(t *testing.T) {
+	small, err := EstimateFootprint(SmallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Nodes != 100 || small.Edges != 200 { // WS degree 4: n·k/2
+		t.Fatalf("small footprint = %+v, want 100 nodes / 200 edges", small)
+	}
+	if small.ApproxBytes <= 0 {
+		t.Fatalf("non-positive byte estimate: %+v", small)
+	}
+	xl, err := EstimateFootprint(XLScaleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xl.Nodes != 20000 || xl.Edges != 60000 { // BA m=3
+		t.Fatalf("xl footprint = %+v, want 20000 nodes / 60000 edges", xl)
+	}
+	if xl.ApproxBytes <= small.ApproxBytes {
+		t.Fatalf("estimate not monotone in scale: %+v vs %+v", xl, small)
+	}
+}
+
+func TestEstimateFootprintSnapshotCountsAsset(t *testing.T) {
+	f, err := EstimateFootprint(MainnetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes != mainnetSnapshotNodes || f.Edges != mainnetSnapshotEdges {
+		t.Fatalf("mainnet footprint = %+v, want %d/%d", f, mainnetSnapshotNodes, mainnetSnapshotEdges)
+	}
+}
+
+// TestMaxFootprintUsesLargestAxisValue pins the fail-fast contract for the
+// XL series: the gate must size the 100k-node cell, not the base spec.
+func TestMaxFootprintUsesLargestAxisValue(t *testing.T) {
+	e, ok := Lookup("figscale-xl")
+	if !ok {
+		t.Fatal("figscale-xl not registered")
+	}
+	f, err := e.MaxFootprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes != 100000 {
+		t.Fatalf("max footprint sized %d nodes, want the 100000-node cell", f.Nodes)
+	}
+	if f.ApproxMB() < 50 {
+		t.Fatalf("100k-node estimate suspiciously small: %d MiB", f.ApproxMB())
+	}
+	// Static entries have nothing to size.
+	table1, _ := Lookup("table1")
+	if f, err := table1.MaxFootprint(); err != nil || f.ApproxBytes != 0 {
+		t.Fatalf("static entry footprint = %+v, %v", f, err)
+	}
+}

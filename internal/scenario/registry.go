@@ -17,6 +17,7 @@ func ChannelScaleGrid() []float64 { return []float64{0.25, 0.5, 1, 2, 4} }
 func ValueScaleGrid() []float64   { return []float64{0.5, 1, 2, 4, 8} }
 func TauGridMs() []float64        { return []float64{100, 200, 400, 600, 800, 1000} }
 func NodeCountGrid() []float64    { return []float64{2000, 4000, 6000, 8000, 10000} }
+func XLNodeCountGrid() []float64  { return []float64{20000, 50000, 100000} }
 func ChurnRateGrid() []float64    { return []float64{0, 0.5, 1, 2, 4} }
 func OmegaGrid() []float64 {
 	return []float64{0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12}
@@ -90,6 +91,52 @@ func ChurnSpec() Spec {
 	s.Workload.CirculationFraction = 0
 	s.Dynamics = &DynamicsSpec{ChurnRate: 0}
 	return s
+}
+
+// XLScaleSpec is the extreme-scale series (20k-100k nodes): scale-free
+// growth (Watts–Strogatz rewiring is quadratic in the ring at these sizes,
+// Barabási–Albert is not), a thin workload so path computation rather than
+// payment volume dominates, and the hub-label routing tier on — the
+// configuration the CSR-first graph core and precomputation exist for.
+func XLScaleSpec() Spec {
+	return Spec{
+		Name:        "scale-xl",
+		Description: "extreme scale: 20k-100k-node Barabasi-Albert, hub-label routing, thin workload",
+		Seed:        11,
+		Topology: TopologySpec{
+			Type: TopoBarabasiAlbert, Nodes: 20000, AttachEdges: 3, ChannelScale: 1,
+		},
+		Workload: WorkloadSpec{
+			Type: WorkSynthetic, Rate: 60, Duration: 2, Timeout: 3,
+			ZipfSkew: 0.8, ValueScale: 1, CirculationFraction: 0.25,
+		},
+		Routing: RoutingSpec{HubCandidates: 24, Override: "hub-labels"},
+	}
+}
+
+// XLSchemes is the scheme set for the extreme-scale series: the hub scheme
+// the precomputation serves, the landmark scheme whose detour tails it
+// serves, and the single-path baseline. (Spider/Flash's per-payment k-path
+// searches at 100k nodes dominate runtime without informing the scaling
+// story.)
+func XLSchemes() []string {
+	return []string{"Splicer", "Landmark", "ShortestPath"}
+}
+
+// MainnetSpec runs the scheme comparison on the mainnet-size snapshot asset
+// (~15k nodes / ~80k channels) — the first-class "real topology" scenario.
+func MainnetSpec() Spec {
+	return Spec{
+		Name:        "ln-mainnet",
+		Description: "Lightning-mainnet-size snapshot (~15k nodes, ~80k channels), hub-label routing",
+		Seed:        12,
+		Topology:    TopologySpec{Type: TopoSnapshot, Snapshot: "builtin:ln-mainnet", ChannelScale: 1},
+		Workload: WorkloadSpec{
+			Type: WorkSynthetic, Rate: 150, Duration: 3, Timeout: 3,
+			ZipfSkew: 0.8, ValueScale: 1, CirculationFraction: 0.25,
+		},
+		Routing: RoutingSpec{HubCandidates: 24, Override: "hub-labels"},
+	}
 }
 
 // ReplaySnapshotSpec replays a captured trace over a snapshot topology: both
@@ -285,6 +332,13 @@ func buildRegistry() map[string]*Entry {
 		figure("fig8d", "Fig 8(d): normalized throughput vs update time (large)", "tau_ms", TauGridMs(), large, MetricThroughput),
 		figure("figscale", "Scaling: normalized throughput vs |V| (2k-10k nodes)", "nodes", NodeCountGrid(), scale, MetricThroughput),
 		{
+			Name: "figscale-xl", Title: "Scaling XL: normalized throughput vs |V| (20k-100k nodes)",
+			Kind: KindFigure, Base: XLScaleSpec(), XLabel: "nodes",
+			Axis:    Axis{Param: "nodes", Values: XLNodeCountGrid()},
+			Schemes: XLSchemes(), Metric: MetricThroughput,
+			Description: XLScaleSpec().Description,
+		},
+		{
 			Name: "figchurn", Title: "Churn: TSR and delay vs churn rate (dynamic network)",
 			Kind: KindChurn, Base: churn, XLabel: "churn_rate",
 			Axis:        Axis{Param: "churn_rate", Values: ChurnRateGrid()},
@@ -316,6 +370,11 @@ func buildRegistry() map[string]*Entry {
 			Name: "bursty-hubspoke", Title: "Scenario bursty-hubspoke: scheme comparison",
 			Kind: KindSchemeTable, Base: BurstyHubSpokeSpec(), Schemes: DefaultSchemes(),
 			Description: BurstyHubSpokeSpec().Description,
+		},
+		{
+			Name: "ln-mainnet", Title: "Scenario ln-mainnet: scheme comparison",
+			Kind: KindSchemeTable, Base: MainnetSpec(), Schemes: DefaultSchemes(),
+			Description: MainnetSpec().Description,
 		},
 	}
 	reg := make(map[string]*Entry, len(entries))

@@ -13,8 +13,8 @@ func TestRegistryCompleteness(t *testing.T) {
 		"fig7a", "fig7b", "fig7c", "fig7d",
 		"fig8a", "fig8b", "fig8c", "fig8d",
 		"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
-		"figscale", "figchurn", "table1", "table2",
-		"replay-snapshot", "bursty-hubspoke",
+		"figscale", "figscale-xl", "figchurn", "table1", "table2",
+		"replay-snapshot", "bursty-hubspoke", "ln-mainnet",
 	}
 	for _, name := range want {
 		e, ok := Lookup(name)

@@ -145,6 +145,10 @@ type RoutingSpec struct {
 	UpdateTauMs    float64 `json:"update_tau_ms,omitempty"`
 	HubCandidates  int     `json:"hub_candidates,omitempty"`
 	PlacementOmega float64 `json:"placement_omega,omitempty"`
+	// Override selects the route-computation backend: "" or "exact" for the
+	// exact PathFinder, "hub-labels" for the precomputed hub-label tier
+	// (byte-identical results; a performance knob for hub-heavy cells).
+	Override string `json:"override,omitempty"`
 }
 
 // normalize fills documented defaults into a copy of the spec.
@@ -267,7 +271,21 @@ func (s Spec) Validate() error {
 	if s.Routing.NumPaths < 0 || s.Routing.UpdateTauMs < 0 || s.Routing.HubCandidates < 0 || s.Routing.PlacementOmega < 0 {
 		return fmt.Errorf("scenario: routing overrides must be >= 0")
 	}
+	if _, err := routingOverrideByName(s.Routing.Override); err != nil {
+		return err
+	}
 	return nil
+}
+
+// routingOverrideByName maps the spec's override name to the pcn constant.
+func routingOverrideByName(name string) (pcn.RoutingOverride, error) {
+	switch name {
+	case "", "exact":
+		return pcn.RoutingExact, nil
+	case "hub-labels":
+		return pcn.RoutingHubLabels, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown routing override %q (want \"exact\" or \"hub-labels\")", name)
 }
 
 // config maps the spec onto a pcn.Config for the given scheme, mirroring the
@@ -301,6 +319,11 @@ func (s Spec) config(scheme pcn.Scheme) (pcn.Config, error) {
 	if r.PlacementOmega > 0 {
 		cfg.PlacementOmega = r.PlacementOmega
 	}
+	ov, err := routingOverrideByName(r.Override)
+	if err != nil {
+		return pcn.Config{}, err
+	}
+	cfg.RoutingOverride = ov
 	return cfg, nil
 }
 

@@ -69,6 +69,13 @@ type Summary struct {
 	MeanQueueDelay Stats
 	TotalFees      Stats
 	MeanImbalance  Stats
+
+	// Route-computation effectiveness (precomputation/caching telemetry, not
+	// paper metrics): the RouteCache hit rate in [0,1] (NaN when no route was
+	// ever requested) and the per-run label-tier activity.
+	CacheHitRate Stats
+	LabelServed  Stats
+	LabelRepairs Stats
 }
 
 type groupKey struct {
@@ -108,6 +115,13 @@ func Aggregate(results []CellResult) []Summary {
 		g.samples["qdelay"] = append(g.samples["qdelay"], r.Result.MeanQueueDelay)
 		g.samples["fees"] = append(g.samples["fees"], r.Result.TotalFees)
 		g.samples["imb"] = append(g.samples["imb"], r.Result.MeanImbalance)
+		hitRate := math.NaN()
+		if lookups := r.Result.RouteCacheHits + r.Result.RouteCacheMisses; lookups > 0 {
+			hitRate = float64(r.Result.RouteCacheHits) / float64(lookups)
+		}
+		g.samples["cache_hit"] = append(g.samples["cache_hit"], hitRate)
+		g.samples["label_served"] = append(g.samples["label_served"], float64(r.Result.LabelServed))
+		g.samples["label_repairs"] = append(g.samples["label_repairs"], float64(r.Result.LabelRepairs))
 	}
 	out := make([]Summary, 0, len(order))
 	for _, k := range order {
@@ -125,6 +139,9 @@ func Aggregate(results []CellResult) []Summary {
 			MeanQueueDelay: newStats(g.samples["qdelay"]),
 			TotalFees:      newStats(g.samples["fees"]),
 			MeanImbalance:  newStats(g.samples["imb"]),
+			CacheHitRate:   newStats(g.samples["cache_hit"]),
+			LabelServed:    newStats(g.samples["label_served"]),
+			LabelRepairs:   newStats(g.samples["label_repairs"]),
 		})
 	}
 	return out
