@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"github.com/splicer-pcn/splicer/internal/benchsuite"
 )
@@ -29,6 +30,8 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.20, "allowed relative allocs/op regression against -pins")
 		run       = flag.String("run", "", "regexp filter over benchmark names")
 		list      = flag.Bool("list", false, "list benchmark names and exit")
+		loadgen   = flag.Bool("loadgen", false, "also run the serving-layer load generator (serve/ report section)")
+		loadDur   = flag.Duration("loadgen-duration", 3*time.Second, "per-run duration for -loadgen")
 	)
 	flag.Parse()
 
@@ -61,6 +64,18 @@ func main() {
 	}
 	for _, r := range rep.Results {
 		fmt.Printf("%-36s %12.1f ns/op %10d B/op %8d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	if *loadgen {
+		serveResults, err := benchsuite.RunServe(*loadDur)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Serve = serveResults
+		for _, r := range rep.Serve {
+			fmt.Printf("%-36s %12.1f routes/s  (%d workers, %d clients, %d requests, %d errors)\n",
+				r.Name, r.RoutesPerSec, r.Workers, r.Clients, r.Requests, r.Errors)
+		}
 	}
 
 	if *out != "" {

@@ -56,6 +56,9 @@ type Report struct {
 	Short      bool     `json:"short"`
 	DurationMS int64    `json:"duration_ms"`
 	Results    []Result `json:"benchmarks"`
+	// Serve holds serving-layer load-generator outcomes (cmd/bench -loadgen);
+	// wall-clock throughput numbers, recorded but never pin-gated.
+	Serve []ServeResult `json:"serve,omitempty"`
 }
 
 // Suite returns the tracked benchmarks. short trims the figure-level

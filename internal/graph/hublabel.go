@@ -326,6 +326,95 @@ func (hl *HubLabels) KShortestPathsUnit(src, dst NodeID, k int) []Path {
 	return hl.pf.KShortestPathsUnit(src, dst, k)
 }
 
+// BuildAll drains the journal and eagerly (re)builds every stale tree, so a
+// subsequent read-only View serves without mutating anything. The snapshot
+// publisher calls it once per epoch; batch callers never need it (trees
+// build lazily there).
+func (hl *HubLabels) BuildAll() {
+	hl.sync()
+	for hi := range hl.trees {
+		hl.ensureTree(hi)
+	}
+}
+
+// View returns a read-only handle over fully built labels. The caller must
+// have called BuildAll since the last graph mutation; View panics otherwise,
+// because a stale view would either serve wrong paths or have to mutate
+// shared state to repair itself — exactly what a view exists to avoid.
+func (hl *HubLabels) View() LabelView {
+	if hl.seq != hl.g.MutationSeq() {
+		panic("graph: LabelView over unsynced labels; call BuildAll first")
+	}
+	for i := range hl.trees {
+		if !hl.trees[i].fresh {
+			panic("graph: LabelView over stale tree; call BuildAll first")
+		}
+	}
+	return LabelView{hl: hl}
+}
+
+// LabelView is a frozen, read-only window onto a HubLabels tier whose trees
+// are all built (see BuildAll). Unlike HubLabels itself, a view is safe for
+// any number of concurrent readers — its methods touch only the immutable
+// tree arrays and the CALLER's PathFinder (for fallbacks and k-shortest
+// continuations), never the shared stats, journal cursor, or build scratch.
+// Each reader goroutine passes its own finder, bound to the same graph the
+// labels were built over.
+type LabelView struct {
+	hl *HubLabels
+}
+
+// Hubs returns the label roots. The returned slice must not be modified.
+func (v LabelView) Hubs() []NodeID { return v.hl.hubs }
+
+// IsHub reports whether n is a label root.
+func (v LabelView) IsHub(n NodeID) bool {
+	_, ok := v.hl.hubIdx[n]
+	return ok
+}
+
+// UnitShortestPath answers like HubLabels.UnitShortestPath, using pf for
+// non-hub-rooted fallbacks.
+func (v LabelView) UnitShortestPath(pf *PathFinder, src, dst NodeID) (Path, bool) {
+	if hi, ok := v.hl.hubIdx[src]; ok {
+		t := &v.hl.trees[hi]
+		if int(dst) >= len(t.dist) || t.dist[dst] < 0 {
+			return Path{}, false
+		}
+		return t.path(dst), true
+	}
+	return pf.UnitShortestPath(src, dst)
+}
+
+// UnitShortestPaths answers like HubLabels.UnitShortestPaths.
+func (v LabelView) UnitShortestPaths(pf *PathFinder, src NodeID, dsts []NodeID) []Path {
+	if hi, ok := v.hl.hubIdx[src]; ok {
+		t := &v.hl.trees[hi]
+		out := make([]Path, len(dsts))
+		for i, d := range dsts {
+			if int(d) < len(t.dist) && t.dist[d] >= 0 {
+				out[i] = t.path(d)
+			}
+		}
+		return out
+	}
+	return pf.UnitShortestPaths(src, dsts)
+}
+
+// KShortestPathsUnit answers like HubLabels.KShortestPathsUnit: when src is
+// a hub the tree supplies Yen's first path and pf runs only the spur
+// searches; results are identical either way.
+func (v LabelView) KShortestPathsUnit(pf *PathFinder, src, dst NodeID, k int) []Path {
+	if hi, ok := v.hl.hubIdx[src]; ok && k > 0 {
+		t := &v.hl.trees[hi]
+		if int(dst) >= len(t.dist) || t.dist[dst] < 0 {
+			return nil
+		}
+		return pf.kShortestPathsFrom(t.path(dst), dst, k, UnitWeight, true)
+	}
+	return pf.KShortestPathsUnit(src, dst, k)
+}
+
 // DistUpperBound returns min over hubs h of dist_h(src)+dist_h(dst) — the
 // classic label-intersection distance, exact when some shortest src→dst
 // path passes through a hub and an upper bound otherwise. ok is false when

@@ -67,6 +67,21 @@ func NewPathFinder(g *Graph) *PathFinder {
 // Graph returns the graph this finder is bound to.
 func (pf *PathFinder) Graph() *Graph { return pf.g }
 
+// Rebind points the finder at a different graph, keeping its scratch
+// allocations. All per-query scratch is stamp-invalidated at the next begin,
+// and the persistent marks (bannedNode, the current edge set) are only
+// meaningful within a single query's Yen/EDS/EDW run, so switching graphs
+// between queries is safe. The serving layer uses this to retarget each
+// worker's finder at the snapshot it pinned for the current query.
+func (pf *PathFinder) Rebind(g *Graph) {
+	if pf.g == g {
+		return
+	}
+	pf.g = g
+	pf.ensure()
+	pf.ensureEdges()
+}
+
 // ensure sizes the scratch arrays to the graph's current node count. Growth
 // copies the existing per-node state into the larger arrays (new nodes start
 // unseen/unbanned), so a long-lived finder survives node arrivals mid-use:

@@ -261,6 +261,12 @@ type Network struct {
 	rootGen    uint64
 	labelGen   uint64
 
+	// Epoch-snapshot store for concurrent readers (see snapshot.go). nil in
+	// batch mode; attached by EnableSnapshots. snapRootGen tracks the rootGen
+	// the store's label roots were last synced at.
+	snapshots   *graph.SnapshotStore
+	snapRootGen uint64
+
 	// Serialized compute resources: next-free time per sender (source
 	// routing) or per hub.
 	cpuFree map[graph.NodeID]float64
@@ -646,10 +652,14 @@ func (n *Network) kShortestPathsUnit(from, to graph.NodeID, k int) []graph.Path 
 // InvalidateRoutes evicts every cached path set and the per-pair probe
 // registry. Topology mutations (ReshapeMultiStar, CapitalizeHubs, or any
 // out-of-package Setup that reshapes the graph) call this so stale paths
-// never route payments.
+// never route payments. With snapshots enabled (serving mode) it is also
+// the publication point: the next epoch is built and published here, so
+// readers switch atomically from the pre-mutation to the post-mutation
+// topology.
 func (n *Network) InvalidateRoutes() {
 	n.routes.Invalidate()
 	clear(n.pathsFor)
+	n.publishSnapshot()
 }
 
 // Channel returns the live channel for an edge.

@@ -1,0 +1,146 @@
+// HTTP/JSON front-end for the serving pool: a small API surface
+// (/route, /plan, /topology/stats, /healthz) over Server. Handlers are
+// thin — parse, call Route, marshal — so everything interesting stays
+// testable without a socket.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/routing"
+)
+
+// PlanResponse is /plan's answer: the routed paths plus the demand split
+// into transaction units under the network's TU bounds.
+type PlanResponse struct {
+	RouteResponse
+	Value float64   `json:"value"`
+	Units []float64 `json:"units"`
+}
+
+// Handler returns the HTTP API over this server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /route", s.handleRoute)
+	mux.HandleFunc("GET /plan", s.handlePlan)
+	mux.HandleFunc("GET /topology/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// parseRouteRequest reads src/dst/k/type query parameters.
+func parseRouteRequest(r *http.Request) (RouteRequest, error) {
+	q := r.URL.Query()
+	src, err := strconv.Atoi(q.Get("src"))
+	if err != nil {
+		return RouteRequest{}, errors.New("serve: src must be a node id")
+	}
+	dst, err := strconv.Atoi(q.Get("dst"))
+	if err != nil {
+		return RouteRequest{}, errors.New("serve: dst must be a node id")
+	}
+	req := RouteRequest{Src: graph.NodeID(src), Dst: graph.NodeID(dst), K: 1, Type: routing.KSP}
+	if ks := q.Get("k"); ks != "" {
+		if req.K, err = strconv.Atoi(ks); err != nil || req.K <= 0 {
+			return RouteRequest{}, errors.New("serve: k must be a positive integer")
+		}
+	}
+	if ts := q.Get("type"); ts != "" {
+		if req.Type, err = routing.PathTypeByName(ts); err != nil {
+			return RouteRequest{}, err
+		}
+	}
+	return req, nil
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRouteRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Route(r.Context(), req)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRouteRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	value, err := strconv.ParseFloat(r.URL.Query().Get("value"), 64)
+	if err != nil || value <= 0 {
+		httpError(w, http.StatusBadRequest, errors.New("serve: value must be a positive amount"))
+		return
+	}
+	cfg := s.net.Config()
+	units, err := routing.SplitDemand(value, cfg.MinTU, cfg.MaxTU)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Route(r.Context(), req)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, PlanResponse{RouteResponse: *resp, Value: value, Units: units})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type statsResponse struct {
+		ServerStats
+		Nodes     int `json:"nodes"`
+		LiveEdges int `json:"live_edges"`
+	}
+	resp := statsResponse{ServerStats: s.Stats()}
+	// Read topology shape from a pinned snapshot, never the live graph.
+	if snap := s.store.Acquire(); snap != nil {
+		resp.Nodes = snap.Graph().NumNodes()
+		resp.LiveEdges = snap.Graph().NumLiveEdges()
+		snap.Release()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.stateMu.RLock()
+	closed := s.closed
+	s.stateMu.RUnlock()
+	if closed {
+		httpError(w, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, ErrShuttingDown) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
