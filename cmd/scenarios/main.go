@@ -84,9 +84,25 @@ type describeEntry struct {
 	Omegas    []float64       `json:"omegas,omitempty"`
 	Spec      json.RawMessage `json:"spec,omitempty"`
 	SpecLarge json.RawMessage `json:"spec_large,omitempty"`
+	// Attack summarizes an armed adversarial injector: the attack type, the
+	// swept intensity grid and the per-kind knobs (hold time, target region,
+	// recovery interval) at a glance, without digging through the spec JSON.
+	Attack *attackInfo `json:"attack,omitempty"`
 	// Footprint sizes the entry's largest cell (worst swept axis value), so
 	// 100k-node runs can be vetted against available memory up front.
 	Footprint *footprintInfo `json:"footprint,omitempty"`
+}
+
+type attackInfo struct {
+	Type           string    `json:"type"`
+	Intensities    []float64 `json:"intensities,omitempty"`
+	Start          float64   `json:"start"`
+	Duration       float64   `json:"duration,omitempty"`
+	Attackers      int       `json:"attackers,omitempty"`
+	HoldTime       float64   `json:"hold_time,omitempty"`
+	Value          float64   `json:"value,omitempty"`
+	RegionFraction float64   `json:"region_fraction,omitempty"`
+	RecoverAfter   float64   `json:"recover_after,omitempty"`
 }
 
 type footprintInfo struct {
@@ -109,6 +125,8 @@ func kindName(k scenario.Kind) string {
 		return "routing-choices"
 	case scenario.KindSchemeTable:
 		return "scheme-table"
+	case scenario.KindAttack:
+		return "attack-panel"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -143,6 +161,14 @@ func describe(args []string) error {
 			return err
 		}
 		out.SpecLarge = spec
+	}
+	if a := e.Base.Attack; a != nil {
+		out.Attack = &attackInfo{
+			Type: a.Type, Intensities: e.Axis.Values,
+			Start: a.Start, Duration: a.Duration,
+			Attackers: a.Attackers, HoldTime: a.HoldTime, Value: a.Value,
+			RegionFraction: a.RegionFraction, RecoverAfter: a.RecoverAfter,
+		}
 	}
 	if fp, err := e.MaxFootprint(); err == nil && fp.ApproxBytes > 0 {
 		out.Footprint = &footprintInfo{Nodes: fp.Nodes, Edges: fp.Edges, ApproxMB: fp.ApproxMB()}

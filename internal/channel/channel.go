@@ -139,8 +139,13 @@ type Channel struct {
 	// QueueLimit bounds the total value waiting per direction (the paper
 	// sets 8000 tokens); 0 means unlimited.
 	QueueLimit float64
+	// MaxInFlight bounds the number of simultaneously locked (in-flight)
+	// HTLCs per direction — Lightning's max_accepted_htlcs slot limit, the
+	// resource slot-jamming attacks exhaust; 0 means unlimited.
+	MaxInFlight int
 
 	processed [2]float64 // value forwarded this window, for rate limiting
+	inflight  [2]int     // locked HTLC count per direction, for MaxInFlight
 	closed    bool
 }
 
@@ -236,6 +241,9 @@ func (c *Channel) CanForward(d Direction, v float64) bool {
 	if c.ProcessRate > 0 && c.processed[d]+v > c.ProcessRate+1e-9 {
 		return false
 	}
+	if c.MaxInFlight > 0 && c.inflight[d] >= c.MaxInFlight {
+		return false
+	}
 	return true
 }
 
@@ -261,12 +269,16 @@ func (c *Channel) Lock(d Direction, v float64) error {
 	if c.ProcessRate > 0 && c.processed[d]+v > c.ProcessRate+1e-9 {
 		return fmt.Errorf("channel: rate limit %v exceeded in direction %d: processed %v, lock %v", c.ProcessRate, d, c.processed[d], v)
 	}
+	if c.MaxInFlight > 0 && c.inflight[d] >= c.MaxInFlight {
+		return fmt.Errorf("channel: HTLC slots exhausted in direction %d: %d in flight, limit %d", d, c.inflight[d], c.MaxInFlight)
+	}
 	// Move exactly what the balance holds (the tolerance covers at most a
 	// 1e-9 shortfall): deducting the full v and clamping would mint funds.
 	moved := min(v, c.dirs[d].balance)
 	c.dirs[d].balance -= moved
 	c.dirs[d].locked += moved
 	c.processed[d] += v
+	c.inflight[d]++
 	return nil
 }
 
@@ -283,6 +295,9 @@ func (c *Channel) Settle(d Direction, v float64) error {
 	c.dirs[d].locked -= moved
 	c.dirs[d.Reverse()].balance += moved
 	c.dirs[d].arrived += moved
+	if c.inflight[d] > 0 {
+		c.inflight[d]--
+	}
 	return nil
 }
 
@@ -295,8 +310,14 @@ func (c *Channel) Refund(d Direction, v float64) error {
 	moved := min(v, c.dirs[d].locked)
 	c.dirs[d].locked -= moved
 	c.dirs[d].balance += moved
+	if c.inflight[d] > 0 {
+		c.inflight[d]--
+	}
 	return nil
 }
+
+// InFlight returns the number of locked HTLCs in direction d.
+func (c *Channel) InFlight(d Direction) int { return c.inflight[d] }
 
 // AddRequired records funds required to maintain flow rates through the
 // endpoint on direction d (n_a in eq. 21); accumulated per window.

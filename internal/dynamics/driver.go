@@ -325,6 +325,33 @@ func (d *Driver) rebuildZipf() {
 	d.zipf = rng.NewZipf(d.endSrc, len(d.ranking), d.cfg.ZipfSkew)
 }
 
+// RemoveFromDemand takes a node out of the demand ranking. External layers
+// that depart nodes outside the driver's own timeline — the attack
+// injector's correlated hub outage — call it so the demand process stops
+// targeting a node the topology no longer holds. No-op when absent.
+func (d *Driver) RemoveFromDemand(v graph.NodeID) {
+	for i, u := range d.ranking {
+		if u == v {
+			d.ranking = append(d.ranking[:i], d.ranking[i+1:]...)
+			d.rebuildZipf()
+			return
+		}
+	}
+}
+
+// AddToDemand re-admits a node at the cold end of the popularity ranking
+// (the same slot joiners get); the inverse of RemoveFromDemand, used when an
+// outaged node recovers. No-op when already present.
+func (d *Driver) AddToDemand(v graph.NodeID) {
+	for _, u := range d.ranking {
+		if u == v {
+			return
+		}
+	}
+	d.ranking = append(d.ranking, v)
+	d.rebuildZipf()
+}
+
 // driftHotspots reshuffles the popularity ranking: which nodes carry the
 // Zipf head changes over time, so demand concentration wanders across the
 // network.

@@ -100,23 +100,23 @@ type SnapshotStats struct {
 	// (first use of a buffer, journal overflow, or replay divergence), and
 	// Resyncs is the subset of FullBuilds forced by overflow/divergence on a
 	// previously synced buffer.
-	Publishes         uint64
-	IncrementalBuilds uint64
-	FullBuilds        uint64
-	Resyncs           uint64
+	Publishes         uint64 `json:"publishes"`
+	IncrementalBuilds uint64 `json:"incremental_builds"`
+	FullBuilds        uint64 `json:"full_builds"`
+	Resyncs           uint64 `json:"resyncs"`
 	// SharedCapacity counts Publish calls skipped because only capacities
 	// changed (the epoch is shared; see package comment). SharedNoop counts
 	// Publish calls with no delta at all.
-	SharedCapacity uint64
-	SharedNoop     uint64
+	SharedCapacity uint64 `json:"shared_capacity"`
+	SharedNoop     uint64 `json:"shared_noop"`
 	// Buffers is the number of graph buffers ever allocated; Recycled counts
 	// publications that reused a retired buffer.
-	Buffers  int
-	Recycled uint64
+	Buffers  int    `json:"buffers"`
+	Recycled uint64 `json:"recycled"`
 	// ActivePins is the number of currently pinned snapshot references.
-	ActivePins int64
+	ActivePins int64 `json:"active_pins"`
 	// Epoch is the current epoch (0 before the first publish).
-	Epoch uint64
+	Epoch uint64 `json:"epoch"`
 }
 
 // SnapshotStore publishes epoch snapshots of one live graph and hands them

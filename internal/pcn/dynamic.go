@@ -32,6 +32,7 @@ func (n *Network) OpenChannel(u, v graph.NodeID, fundU, fundV float64) (graph.Ed
 		panic(err) // funds validated above
 	}
 	ch.QueueLimit = n.cfg.QueueLimit
+	ch.MaxInFlight = n.cfg.MaxInFlightTUs
 	n.chans = append(n.chans, ch)
 	if len(n.chans) != n.g.NumEdges() {
 		panic("pcn: channel array diverged from graph edges")
@@ -158,6 +159,23 @@ func (n *Network) DepartNode(v graph.NodeID) error {
 		}
 		n.hubs = hubs
 	}
+	return nil
+}
+
+// RejoinNode reverses a departure: the node becomes eligible again as an
+// endpoint, hub candidate and client. Its former channels stay closed
+// (channel closing is on-chain final); the caller re-opens connectivity via
+// OpenChannel, whose funding records as fresh capital. A rejoined former hub
+// does not regain the role automatically — that is online re-placement's
+// job, which is exactly the recovery story the hub-outage attack measures.
+func (n *Network) RejoinNode(v graph.NodeID) error {
+	if int(v) < 0 || int(v) >= n.g.NumNodes() {
+		return fmt.Errorf("pcn: rejoin of unknown node %d", v)
+	}
+	if !n.departed[v] {
+		return fmt.Errorf("pcn: node %d has not departed", v)
+	}
+	delete(n.departed, v)
 	return nil
 }
 

@@ -1,0 +1,212 @@
+package pcn
+
+import (
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/rng"
+	"github.com/splicer-pcn/splicer/internal/topology"
+	"github.com/splicer-pcn/splicer/internal/workload"
+)
+
+// heldTx builds one adversarial payment that locks value and withholds the
+// preimage for hold seconds.
+func heldTx(id int, s, r graph.NodeID, at, hold float64) workload.Tx {
+	return workload.Tx{
+		ID: id, Sender: s, Recipient: r, Value: 2,
+		Arrival: at, Deadline: at + hold + 1, Hold: hold, Adversarial: true,
+	}
+}
+
+// TestHoldThenRefund pins the jamming primitive: a payment with Hold > 0
+// locks funds along its path, parks fully locked (tu_held), releases at
+// now+Hold via Refund, and never pollutes the honest Generated/TSR
+// accounting. Conservation must hold with funds parked mid-run and after
+// the release.
+func TestHoldThenRefund(t *testing.T) {
+	n, trace := invariantNetwork(t, SchemeSplicer)
+	horizon := trace[len(trace)-1].Deadline + 4
+	if err := n.BeginRun(horizon); err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range trace {
+		if err := n.ScheduleArrival(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const advCount = 20
+	for i := 0; i < advCount; i++ {
+		s := graph.NodeID(i % n.Graph().NumNodes())
+		r := graph.NodeID((i + 7) % n.Graph().NumNodes())
+		if err := n.ScheduleArrival(heldTx(1<<30+i, s, r, 0.5+0.05*float64(i), 1.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := n.Execute(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdversarialGenerated != advCount {
+		t.Fatalf("AdversarialGenerated = %d, want %d", res.AdversarialGenerated, advCount)
+	}
+	if res.Generated != len(trace) {
+		t.Fatalf("honest Generated = %d polluted by adversarial payments, want %d", res.Generated, len(trace))
+	}
+	if res.HeldTUs == 0 {
+		t.Fatal("no TU was ever held: the hold mechanism never engaged")
+	}
+	if res.HeldLockValue <= 0 {
+		t.Fatalf("HeldLockValue = %v, want > 0", res.HeldLockValue)
+	}
+	// A held payment never completes: the release aborts and refunds it.
+	if res.AdversarialCompleted != 0 {
+		t.Fatalf("AdversarialCompleted = %d, want 0 (held payments must refund)", res.AdversarialCompleted)
+	}
+	if err := n.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHoldReleasesSlots pins that held TUs free their per-direction HTLC
+// slots on release: with MaxInFlight saturated by held payments, honest
+// traffic recovers after the hold expires rather than failing forever.
+func TestHoldReleasesSlots(t *testing.T) {
+	src := rng.New(33)
+	sizes := workload.NewChannelSizeDist(src.Split(1), 1)
+	g, err := topology.WattsStrogatz(src.Split(2), 40, 4, 0.25, sizes.CapacityFunc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(SchemeShortestPath)
+	cfg.MaxInFlightTUs = 2
+	n, err := NewNetwork(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 10.0
+	if err := n.BeginRun(horizon); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate every channel out of node 0 with held payments, then send an
+	// honest payment after the hold expires.
+	for i := 0; i < 12; i++ {
+		r := graph.NodeID(1 + i%20)
+		if err := n.ScheduleArrival(heldTx(1<<30+i, 0, r, 0.1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := workload.Tx{ID: 1, Sender: 0, Recipient: 20, Value: 1, Arrival: 6, Deadline: 9}
+	if err := n.ScheduleArrival(late); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Execute(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("post-hold honest payment failed (Completed = %d): held TUs did not release their slots", res.Completed)
+	}
+	if err := n.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzConservation drives random interleavings of honest arrivals,
+// adversarial held arrivals and structural churn (close/open/top-up/
+// depart/rejoin) through one run and asserts the conservation-of-funds
+// invariant at the end — the oracle that the hold→timeout→Refund path and
+// the dynamic mutators never mint or strand funds no matter how they
+// interleave.
+func FuzzConservation(f *testing.F) {
+	f.Add([]byte{0, 1, 20, 1, 3, 9, 2, 0, 0, 5, 4, 0, 6, 4, 0, 3, 2, 8})
+	f.Add([]byte{1, 0, 5, 1, 5, 0, 2, 1, 1, 3, 0, 7, 4, 2, 2, 0, 9, 3})
+	f.Add([]byte{5, 1, 0, 5, 2, 0, 0, 3, 4, 6, 1, 0, 6, 2, 0, 1, 4, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := rng.New(77)
+		sizes := workload.NewChannelSizeDist(src.Split(1), 1)
+		g, err := topology.WattsStrogatz(src.Split(2), 24, 4, 0.25, sizes.CapacityFunc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := NewConfig(SchemeShortestPath)
+		cfg.MaxInFlightTUs = 3
+		n, err := NewNetwork(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := n.Graph().NumNodes()
+		steps := len(data) / 3
+		horizon := 0.25*float64(steps) + 6
+		if err := n.BeginRun(horizon); err != nil {
+			t.Fatal(err)
+		}
+		// Guarantee the run generates at least one honest payment.
+		if err := n.ScheduleArrival(workload.Tx{
+			ID: 0, Sender: 0, Recipient: 12, Value: 1, Arrival: 0.05, Deadline: 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		id := 1
+		for i := 0; i < steps; i++ {
+			op, a, b := data[3*i], int(data[3*i+1]), int(data[3*i+2])
+			at := 0.1 + 0.25*float64(i)
+			s := graph.NodeID(a % nodes)
+			r := graph.NodeID(b % nodes)
+			switch op % 7 {
+			case 0: // honest arrival
+				if s == r {
+					r = graph.NodeID((b + 1) % nodes)
+				}
+				tx := workload.Tx{
+					ID: id, Sender: s, Recipient: r,
+					Value: 0.5 + float64(b%8), Arrival: at, Deadline: at + 2,
+				}
+				id++
+				if err := n.ScheduleArrival(tx); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // adversarial held arrival
+				if s == r {
+					r = graph.NodeID((b + 1) % nodes)
+				}
+				if err := n.ScheduleArrival(heldTx(1<<30+id, s, r, at, 1+float64(a%3))); err != nil {
+					t.Fatal(err)
+				}
+				id++
+			case 2: // close a channel
+				eid := graph.EdgeID(a % n.Graph().NumEdges())
+				if err := n.At(at, func() { _ = n.CloseChannel(eid) }); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // open a channel
+				fundU, fundV := float64(a%10)+1, float64(b%10)+1
+				if err := n.At(at, func() {
+					if s != r && !n.Departed(s) && !n.Departed(r) {
+						_, _ = n.OpenChannel(s, r, fundU, fundV)
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			case 4: // top up a channel
+				eid := graph.EdgeID(b % n.Graph().NumEdges())
+				if err := n.At(at, func() { _ = n.TopUpChannel(eid, float64(a%5), float64(a%3)) }); err != nil {
+					t.Fatal(err)
+				}
+			case 5: // depart a node
+				if err := n.At(at, func() { _ = n.DepartNode(s) }); err != nil {
+					t.Fatal(err)
+				}
+			case 6: // rejoin a node
+				if err := n.At(at, func() { _ = n.RejoinNode(s) }); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if _, err := n.Execute(horizon); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.CheckConservation(); err != nil {
+			t.Fatalf("conservation violated after fuzzed interleaving: %v", err)
+		}
+	})
+}

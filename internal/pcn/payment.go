@@ -68,7 +68,11 @@ type tuRun struct {
 // managing hub for hub-based policies) and then dispatches. Which node pays
 // the compute cost, and any epoch alignment, come from the SchemePolicy.
 func (n *Network) onArrival(tx workload.Tx) {
-	n.metrics.AddHandle(n.mh.txGenerated, 1)
+	if tx.Adversarial {
+		n.metrics.AddHandle(n.mh.advGenerated, 1)
+	} else {
+		n.metrics.AddHandle(n.mh.txGenerated, 1)
+	}
 	owner, service := n.policy.ComputeOwner(n, tx)
 	now := n.engine.Now()
 	free := n.cpuFree[owner]
@@ -285,9 +289,14 @@ func (n *Network) lockAndHop(tu *tuRun, ch *channel.Channel, dir channel.Directi
 	}
 }
 
-// completeTU settles the TU end-to-end.
+// completeTU settles the TU end-to-end (or parks it when the sender is
+// withholding the preimage).
 func (n *Network) completeTU(tu *tuRun) {
 	if tu.done {
+		return
+	}
+	if tu.tx.tx.Hold > 0 {
+		n.holdTU(tu)
 		return
 	}
 	tu.done = true
@@ -316,6 +325,24 @@ func (n *Network) completeTU(tu *tuRun) {
 		n.drainQueue(ch, dir.Reverse()) // reverse direction gained funds
 	}
 	n.resolveTU(tu, true, "")
+}
+
+// holdTU parks a fully locked TU instead of settling it: the sender
+// withholds the settlement preimage, so every hop's HTLC stays locked —
+// value unusable by honest traffic — until the hold expires or the payment
+// deadline forces the unwind (the channel-jamming/griefing primitive). The
+// release refunds hop by hop through the normal abort path, so the deadline
+// watchdog and the release event are mutually idempotent via tu.done.
+func (n *Network) holdTU(tu *tuRun) {
+	n.metrics.AddHandle(n.mh.tuHeld, 1)
+	n.metrics.AddHandle(n.mh.tuHeldValue, tu.value*float64(tu.lockedThrough))
+	release := n.engine.Now() + tu.tx.tx.Hold
+	if release > tu.tx.tx.Deadline {
+		release = tu.tx.tx.Deadline
+	}
+	if _, err := n.engine.Schedule(release, 0, func() { n.abortTU(tu, "held_released") }); err != nil {
+		panic(err) // release >= now by construction
+	}
 }
 
 // abortTU refunds a TU's locked hops and resolves it as failed.
@@ -432,7 +459,19 @@ func (n *Network) finishTx(run *txRun) {
 	delete(n.txState, run.tx.ID)
 	n.unregisterTx(run)
 	now := n.engine.Now()
-	if !run.failed && now <= run.tx.Deadline+1e-9 {
+	ok := !run.failed && now <= run.tx.Deadline+1e-9
+	// Adversarial payments resolve into their own counters: Generated,
+	// Completed and the unresolved-at-horizon audit in Execute all measure
+	// honest demand only.
+	if run.tx.Adversarial {
+		if ok {
+			n.metrics.AddHandle(n.mh.advCompleted, 1)
+		} else {
+			n.metrics.AddHandle(n.mh.advFailed, 1)
+		}
+		return
+	}
+	if ok {
 		n.metrics.AddHandle(n.mh.txCompleted, 1)
 		n.metrics.AddHandle(n.mh.valueCompleted, run.tx.Value)
 		n.metrics.ObserveHandle(n.mh.txDelay, now-run.tx.Arrival)
@@ -520,7 +559,10 @@ func (n *Network) findQueuedTU(q *channel.QueuedTU) *tuRun {
 
 // failTx records an immediately failed payment (no route, etc.).
 func (n *Network) failTx(run *txRun, reason string) {
+	if run.tx.Adversarial {
+		n.metrics.AddHandle(n.mh.advFailed, 1)
+		return
+	}
 	n.metrics.AddHandle(n.mh.txFailed, 1)
 	n.metrics.AddHandle(n.txFailedReasonHandle(reason), 1)
-	_ = run
 }

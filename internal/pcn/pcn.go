@@ -107,6 +107,10 @@ type Config struct {
 	QueueDelayThreshold float64
 	// QueueLimit is the per-direction queue value bound (8000 tokens).
 	QueueLimit float64
+	// MaxInFlightTUs bounds the simultaneously locked HTLCs per channel
+	// direction (Lightning's max_accepted_htlcs slot limit — the resource
+	// slot-jamming exhausts); 0 means unlimited, the paper's setting.
+	MaxInFlightTUs int
 
 	// Rate/price controller parameters.
 	Alpha float64 // rate step α (eq. 26)
@@ -213,6 +217,9 @@ func (c *Config) Validate() error {
 	if c.RoutingOverride != RoutingExact && c.RoutingOverride != RoutingHubLabels {
 		return fmt.Errorf("pcn: invalid routing override %d", int(c.RoutingOverride))
 	}
+	if c.MaxInFlightTUs < 0 {
+		return fmt.Errorf("pcn: MaxInFlightTUs must be >= 0, got %d", c.MaxInFlightTUs)
+	}
 	return nil
 }
 
@@ -295,8 +302,12 @@ type Network struct {
 
 	// Run bookkeeping: payments registered via ScheduleArrival/Arrive, so a
 	// dynamically driven run (no upfront trace) summarizes correctly.
+	// Adversarial (attacker-issued) payments count separately so TSR and
+	// throughput measure honest demand only.
 	genCount int
 	genValue float64
+	advCount int
+	advValue float64
 	ticking  bool
 
 	// capitalIn is the recorded capital inflow backing the
@@ -349,6 +360,7 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 			return nil, err
 		}
 		ch.QueueLimit = cfg.QueueLimit
+		ch.MaxInFlight = cfg.MaxInFlightTUs
 		n.chans[i] = ch
 		n.recordCapital(e.CapFwd + e.CapRev)
 	}
@@ -420,6 +432,7 @@ func (n *Network) ReshapeMultiStar() {
 			panic(err)
 		}
 		ch.QueueLimit = n.cfg.QueueLimit
+		ch.MaxInFlight = n.cfg.MaxInFlightTUs
 		n.chans = append(n.chans, ch)
 		n.recordCapital(2 * funds)
 	}
@@ -705,6 +718,15 @@ type Result struct {
 	MeanImbalance        float64 // mean end-state channel imbalance in [0,1]
 	DeadlockedChannels   int     // channels fully drained in one direction
 
+	// Adversarial-workload accounting (internal/attack). Attacker payments
+	// are excluded from Generated/Completed/TSR above; HeldTUs counts TUs
+	// parked by the hold-then-Refund jamming mechanism, HeldLockValue the
+	// total value·hops they kept locked.
+	AdversarialGenerated int
+	AdversarialCompleted int
+	HeldTUs              int
+	HeldLockValue        float64
+
 	// Route-computation effectiveness: RouteCache activity over the run and,
 	// when RoutingHubLabels is on, hub-label tier activity (zero otherwise).
 	RouteCacheHits          int // cached path sets reused
@@ -753,10 +775,10 @@ func (n *Network) BeginRun(horizon float64) error {
 }
 
 // ScheduleArrival registers a payment to arrive at tx.Arrival. The payment
-// counts toward the run's Generated totals immediately.
+// counts toward the run's Generated totals immediately (adversarial
+// payments toward the separate adversarial totals).
 func (n *Network) ScheduleArrival(tx workload.Tx) error {
-	n.genCount++
-	n.genValue += tx.Value
+	n.countGenerated(tx)
 	_, err := n.engine.Schedule(tx.Arrival, 1, func() { n.onArrival(tx) })
 	return err
 }
@@ -765,9 +787,18 @@ func (n *Network) ScheduleArrival(tx workload.Tx) error {
 // layer uses it to resolve a payment's endpoints against the live node set
 // at the moment of arrival rather than at trace-generation time.
 func (n *Network) Arrive(tx workload.Tx) {
+	n.countGenerated(tx)
+	n.onArrival(tx)
+}
+
+func (n *Network) countGenerated(tx workload.Tx) {
+	if tx.Adversarial {
+		n.advCount++
+		n.advValue += tx.Value
+		return
+	}
 	n.genCount++
 	n.genValue += tx.Value
-	n.onArrival(tx)
 }
 
 // At schedules an external event (a topology mutation, a demand-process
@@ -829,6 +860,10 @@ func (n *Network) summarize() Result {
 	r.MeanDelay = n.metrics.Mean("tx_delay")
 	r.MeanQueueDelay = n.metrics.Mean("queue_delay")
 	r.TotalFees = n.metrics.Counter("fees")
+	r.AdversarialGenerated = n.advCount
+	r.AdversarialCompleted = int(n.metrics.Counter("adv_completed"))
+	r.HeldTUs = int(n.metrics.Counter("tu_held"))
+	r.HeldLockValue = n.metrics.Counter("tu_held_value")
 	// Imbalance and deadlock are end-state health of the live topology;
 	// closed channels are out of the network.
 	imb, dead, open := 0.0, 0, 0

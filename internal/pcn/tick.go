@@ -99,6 +99,8 @@ func (h *edgeHeap) pop() graph.EdgeID {
 type metricHandles struct {
 	txGenerated, txCompleted, txFailed, valueCompleted, fees sim.CounterHandle
 	tuSent, tuQueued, tuCompleted, tuFailed, tuMarked        sim.CounterHandle
+	tuHeld, tuHeldValue                                      sim.CounterHandle
+	advGenerated, advCompleted, advFailed                    sim.CounterHandle
 	txDelay, queueDelay                                      sim.SampleHandle
 	tuFailedReason, txFailedReason                           map[string]sim.CounterHandle
 
@@ -123,6 +125,11 @@ func (n *Network) initMetricHandles() {
 		tuCompleted:    m.CounterHandle("tu_completed"),
 		tuFailed:       m.CounterHandle("tu_failed"),
 		tuMarked:       m.CounterHandle("tu_marked"),
+		tuHeld:         m.CounterHandle("tu_held"),
+		tuHeldValue:    m.CounterHandle("tu_held_value"),
+		advGenerated:   m.CounterHandle("adv_generated"),
+		advCompleted:   m.CounterHandle("adv_completed"),
+		advFailed:      m.CounterHandle("adv_failed"),
 		txDelay:        m.SampleHandle("tx_delay"),
 		queueDelay:     m.SampleHandle("queue_delay"),
 		tuFailedReason: map[string]sim.CounterHandle{},

@@ -7,6 +7,7 @@ package scenario
 import (
 	"fmt"
 
+	"github.com/splicer-pcn/splicer/internal/attack"
 	"github.com/splicer-pcn/splicer/internal/dynamics"
 	"github.com/splicer-pcn/splicer/internal/graph"
 	"github.com/splicer-pcn/splicer/internal/pcn"
@@ -175,6 +176,16 @@ func (s Spec) RunScheme(scheme pcn.Scheme) (pcn.Result, error) {
 		if err != nil {
 			return pcn.Result{}, err
 		}
+		if s.Attack != nil {
+			inj, err := attack.NewInjector(net, st.src.Split(5), s.attackConfig())
+			if err != nil {
+				return pcn.Result{}, err
+			}
+			inj.AttachDriver(d)
+			if err := inj.Install(); err != nil {
+				return pcn.Result{}, err
+			}
+		}
 		res, err := d.Run()
 		if err != nil {
 			return pcn.Result{}, err
@@ -189,11 +200,51 @@ func (s Spec) RunScheme(scheme pcn.Scheme) (pcn.Result, error) {
 	if err != nil {
 		return pcn.Result{}, err
 	}
+	if s.Attack != nil {
+		res, err := s.runStaticAttack(st, net, trace)
+		if err != nil {
+			return pcn.Result{}, err
+		}
+		return res, net.CheckConservation()
+	}
 	res, err := net.Run(trace)
 	if err != nil {
 		return pcn.Result{}, err
 	}
 	return res, net.CheckConservation()
+}
+
+// runStaticAttack replays the static trace with an injector armed:
+// pcn.Network.Run decomposed onto the stepwise API so the attack's events
+// land on the same engine and the horizon covers the attack's unwind
+// (held payments release, struck hubs recover) past the trace's own end.
+// The injector draws from Split(5), disjoint from every other build stream,
+// so a spec minus its attack block reproduces the unattacked cell exactly.
+func (s Spec) runStaticAttack(st *buildState, net *pcn.Network, trace []workload.Tx) (pcn.Result, error) {
+	if len(trace) == 0 {
+		return pcn.Result{}, fmt.Errorf("pcn: empty trace")
+	}
+	acfg := s.attackConfig()
+	horizon := trace[len(trace)-1].Deadline + 1
+	if end := acfg.End() + 1; end > horizon {
+		horizon = end
+	}
+	if err := net.BeginRun(horizon); err != nil {
+		return pcn.Result{}, err
+	}
+	for i := range trace {
+		if err := net.ScheduleArrival(trace[i]); err != nil {
+			return pcn.Result{}, err
+		}
+	}
+	inj, err := attack.NewInjector(net, st.src.Split(5), acfg)
+	if err != nil {
+		return pcn.Result{}, err
+	}
+	if err := inj.Install(); err != nil {
+		return pcn.Result{}, err
+	}
+	return net.Execute(horizon)
 }
 
 // Run executes the cell with the spec's own scheme.

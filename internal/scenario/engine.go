@@ -150,38 +150,36 @@ const OnlineLabel = "Splicer(online)"
 // placement (seconds).
 const OnlineReplaceInterval = 1.0
 
-// churnVariant is one line of the churn panel.
-type churnVariant struct {
+// panelVariant is one line of a scheme-panel figure (churn or attack).
+type panelVariant struct {
 	scheme  pcn.Scheme
 	label   string // aggregation label; "" for the plain scheme
 	name    string // series name
 	replace bool
 }
 
-// RunChurnPanel sweeps churn rate over every scheme plus the
+// runVariantPanel sweeps the named parameter over every scheme plus the
 // Splicer-with-online-re-placement variant, reporting TSR and mean delay
-// series. The base spec must carry a dynamics block; its ChurnRate is the
-// swept parameter.
-func RunChurnPanel(base Spec, churnRates []float64, schemeNames []string, opts RunOptions) (tsr, delay []Series, err error) {
-	if base.Dynamics == nil {
-		return nil, nil, fmt.Errorf("scenario: churn panel needs a dynamics block in spec %q", base.Name)
-	}
+// series — the shared machinery behind the churn and attack panels. The
+// base spec must carry a dynamics block (the online variant re-runs
+// placement through the dynamics driver).
+func runVariantPanel(base Spec, param string, values []float64, schemeNames []string, opts RunOptions) (tsr, delay []Series, err error) {
 	schemes, err := parseSchemes(schemeNames)
 	if err != nil {
 		return nil, nil, err
 	}
-	var variants []churnVariant
+	var variants []panelVariant
 	for _, sc := range schemes {
-		variants = append(variants, churnVariant{scheme: sc, name: sc.String()})
+		variants = append(variants, panelVariant{scheme: sc, name: sc.String()})
 	}
-	variants = append(variants, churnVariant{
+	variants = append(variants, panelVariant{
 		scheme: pcn.SchemeSplicer, label: "online", name: OnlineLabel, replace: true,
 	})
 	var cells []sweep.Cell
-	for _, x := range churnRates {
+	for _, x := range values {
 		for _, v := range variants {
 			for _, seed := range opts.seedsFor(base.Seed) {
-				scen, err := base.withParam("churn_rate", x)
+				scen, err := base.withParam(param, x)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -191,7 +189,7 @@ func RunChurnPanel(base Spec, churnRates []float64, schemeNames []string, opts R
 					d.ReplaceInterval = OnlineReplaceInterval
 					scen.Dynamics = &d
 				}
-				cells = append(cells, scen.Cell(v.scheme, "churn_rate", x, v.label))
+				cells = append(cells, scen.Cell(v.scheme, param, x, v.label))
 			}
 		}
 	}
@@ -213,13 +211,40 @@ func RunChurnPanel(base Spec, churnRates []float64, schemeNames []string, opts R
 	for vi, v := range variants {
 		tsr[vi].Name = v.name
 		delay[vi].Name = v.name
-		for _, x := range churnRates {
+		for _, x := range values {
 			s := byKey[key{v.scheme, v.label, x}]
 			tsr[vi].Points = append(tsr[vi].Points, Point{X: x, Y: s.TSR.Mean})
 			delay[vi].Points = append(delay[vi].Points, Point{X: x, Y: s.MeanDelay.Mean})
 		}
 	}
 	return tsr, delay, nil
+}
+
+// RunChurnPanel sweeps churn rate over every scheme plus the
+// Splicer-with-online-re-placement variant, reporting TSR and mean delay
+// series. The base spec must carry a dynamics block; its ChurnRate is the
+// swept parameter.
+func RunChurnPanel(base Spec, churnRates []float64, schemeNames []string, opts RunOptions) (tsr, delay []Series, err error) {
+	if base.Dynamics == nil {
+		return nil, nil, fmt.Errorf("scenario: churn panel needs a dynamics block in spec %q", base.Name)
+	}
+	return runVariantPanel(base, "churn_rate", churnRates, schemeNames, opts)
+}
+
+// RunAttackPanel sweeps attack intensity over every scheme plus the
+// Splicer-with-online-re-placement variant — the resilience panel: how does
+// each routing scheme degrade as the attack strengthens, and how much does
+// online re-placement recover. The base spec must carry an attack block
+// (whose Intensity is the swept parameter) and a dynamics block (churn rate
+// 0 for a topology that only the attack perturbs).
+func RunAttackPanel(base Spec, intensities []float64, schemeNames []string, opts RunOptions) (tsr, delay []Series, err error) {
+	if base.Attack == nil {
+		return nil, nil, fmt.Errorf("scenario: attack panel needs an attack block in spec %q", base.Name)
+	}
+	if base.Dynamics == nil {
+		return nil, nil, fmt.Errorf("scenario: attack panel needs a dynamics block in spec %q (the online variant re-places hubs through the dynamics driver)", base.Name)
+	}
+	return runVariantPanel(base, "attack_intensity", intensities, schemeNames, opts)
 }
 
 // SchemeTable runs the spec once per scheme and tabulates the headline
@@ -243,7 +268,7 @@ func SchemeTable(base Spec, schemeNames []string, opts RunOptions) (Table, error
 		return Table{}, err
 	}
 	t := Table{
-		Title:  fmt.Sprintf("Scenario %s: scheme comparison", base.Name),
+		Title: fmt.Sprintf("Scenario %s: scheme comparison", base.Name),
 		Header: []string{"scheme", "tsr", "norm_throughput", "mean_delay_s", "mean_queue_delay_s", "mean_imbalance",
 			"cache_hit_rate", "label_served", "label_repairs"},
 	}

@@ -19,6 +19,9 @@ func TauGridMs() []float64        { return []float64{100, 200, 400, 600, 800, 10
 func NodeCountGrid() []float64    { return []float64{2000, 4000, 6000, 8000, 10000} }
 func XLNodeCountGrid() []float64  { return []float64{20000, 50000, 100000} }
 func ChurnRateGrid() []float64    { return []float64{0, 0.5, 1, 2, 4} }
+func JammingRateGrid() []float64  { return []float64{0, 5, 10, 20, 40} }
+func SpikeFactorGrid() []float64  { return []float64{1, 10, 30, 100} }
+func HubOutageGrid() []float64    { return []float64{0, 1, 2, 4} }
 func OmegaGrid() []float64 {
 	return []float64{0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12}
 }
@@ -90,6 +93,51 @@ func ChurnSpec() Spec {
 	// belongs to the static trace generator and must be unset here.
 	s.Workload.CirculationFraction = 0
 	s.Dynamics = &DynamicsSpec{ChurnRate: 0}
+	return s
+}
+
+// attackBase is the shared base of the three attack scenarios: the churn
+// scenario's topology and demand with a quiet structural timeline
+// (churn rate 0), so the attack is the only perturbation — the dynamics
+// block stays armed for the panel's Splicer(online) recovery variant.
+func attackBase() Spec {
+	s := ChurnSpec()
+	s.Dynamics = &DynamicsSpec{ChurnRate: 0}
+	return s
+}
+
+// JammingSpec is the HTLC channel-jamming scenario: attacker nodes issue
+// payments that lock value along paths and withhold the preimage until
+// timeout, exhausting the per-direction HTLC slots the routing spec caps.
+func JammingSpec() Spec {
+	s := attackBase()
+	s.Name = "jamming"
+	s.Description = "HTLC jamming: attacker-held payments exhaust channel slots; TSR/delay vs adversarial rate (tx/s)"
+	s.Seed = 13
+	s.Routing.MaxInFlightTUs = 40
+	s.Attack = &AttackSpec{Type: "jamming", Start: 1, Duration: 4, HoldTime: 2}
+	return s
+}
+
+// FlashCrowdSpec is the demand-shock scenario: the arrival rate targeting
+// one region of the network spikes to Intensity× the base rate.
+func FlashCrowdSpec() Spec {
+	s := attackBase()
+	s.Name = "flash-crowd"
+	s.Description = "flash crowd: arrival-rate spike (up to ~100x) on one region; TSR/delay vs spike factor"
+	s.Seed = 14
+	s.Attack = &AttackSpec{Type: "flash-crowd", Start: 2, Duration: 2, RegionFraction: 0.2}
+	return s
+}
+
+// HubOutageSpec is the correlated-failure scenario: the top-k placement
+// hubs depart simultaneously and recover after an interval.
+func HubOutageSpec() Spec {
+	s := attackBase()
+	s.Name = "hub-outage"
+	s.Description = "correlated hub outage: top-k placement hubs depart at once, recover after 3 s; TSR/delay vs k"
+	s.Seed = 15
+	s.Attack = &AttackSpec{Type: "hub-outage", Start: 2, RecoverAfter: 3}
 	return s
 }
 
@@ -198,6 +246,9 @@ const (
 	// KindSchemeTable runs the base spec once per scheme (standalone
 	// scenarios).
 	KindSchemeTable
+	// KindAttack is the resilience panel (TSR + delay vs attack intensity,
+	// schemes + online variant).
+	KindAttack
 )
 
 // Entry is one named, runnable scenario.
@@ -276,6 +327,12 @@ func (e *Entry) Run(opts RunOptions) (Table, error) {
 		return TableIITable(rows), nil
 	case KindSchemeTable:
 		return SchemeTable(e.Base, e.Schemes, opts)
+	case KindAttack:
+		tsr, delay, err := RunAttackPanel(e.Base, e.Axis.Values, e.Schemes, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		return AttackTable(e.Title, tsr, delay), nil
 	default:
 		return Table{}, fmt.Errorf("scenario: entry %q has unknown kind %d", e.Name, e.Kind)
 	}
@@ -319,6 +376,14 @@ func buildRegistry() map[string]*Entry {
 		return &Entry{
 			Name: name, Title: title, Kind: kind, Base: base,
 			Omegas: OmegaGrid(), Description: title,
+		}
+	}
+	attackEntry := func(name, title string, base Spec, grid []float64) *Entry {
+		return &Entry{
+			Name: name, Title: title, Kind: KindAttack, Base: base,
+			XLabel:  "attack_intensity",
+			Axis:    Axis{Param: "attack_intensity", Values: grid},
+			Schemes: ChurnSchemes(), Description: base.Description,
 		}
 	}
 	entries := []*Entry{
@@ -376,6 +441,9 @@ func buildRegistry() map[string]*Entry {
 			Kind: KindSchemeTable, Base: MainnetSpec(), Schemes: DefaultSchemes(),
 			Description: MainnetSpec().Description,
 		},
+		attackEntry("jamming", "Resilience: TSR and delay vs HTLC-jamming rate", JammingSpec(), JammingRateGrid()),
+		attackEntry("flash-crowd", "Resilience: TSR and delay vs flash-crowd spike factor", FlashCrowdSpec(), SpikeFactorGrid()),
+		attackEntry("hub-outage", "Resilience: TSR and delay vs correlated hub outages (top-k)", HubOutageSpec(), HubOutageGrid()),
 	}
 	reg := make(map[string]*Entry, len(entries))
 	for _, e := range entries {

@@ -15,6 +15,7 @@ func TestRegistryCompleteness(t *testing.T) {
 		"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
 		"figscale", "figscale-xl", "figchurn", "table1", "table2",
 		"replay-snapshot", "bursty-hubspoke", "ln-mainnet",
+		"jamming", "flash-crowd", "hub-outage",
 	}
 	for _, name := range want {
 		e, ok := Lookup(name)

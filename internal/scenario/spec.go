@@ -10,7 +10,8 @@
 // Determinism contract: a Spec is a pure function of its Seed. The build
 // pipeline derives child rng streams in a fixed label order — Split(1) for
 // channel sizes, Split(2) for the topology generator, Split(3) for the
-// synthetic workload, Split(4) for the dynamics driver, Split(9) for
+// synthetic workload, Split(4) for the dynamics driver, Split(5) for the
+// attack injector (drawn only when an attack block is armed), Split(9) for
 // analytical hop sampling — matching the hand-wired experiment runners the
 // engine replaced, so registry output stays byte-identical to the historical
 // CSVs (pinned by the golden-fixture conformance test).
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/splicer-pcn/splicer/internal/attack"
 	"github.com/splicer-pcn/splicer/internal/channel"
 	"github.com/splicer-pcn/splicer/internal/pcn"
 	"github.com/splicer-pcn/splicer/internal/routing"
@@ -58,6 +60,7 @@ type Spec struct {
 	Topology TopologySpec  `json:"topology"`
 	Workload WorkloadSpec  `json:"workload"`
 	Dynamics *DynamicsSpec `json:"dynamics,omitempty"`
+	Attack   *AttackSpec   `json:"attack,omitempty"`
 	Routing  RoutingSpec   `json:"routing,omitempty"`
 }
 
@@ -136,6 +139,32 @@ type DynamicsSpec struct {
 	ReplaceInterval float64 `json:"replace_interval,omitempty"`
 }
 
+// AttackSpec arms the cell with one adversarial/stress injector from
+// internal/attack. Intensity is the generic swept knob ("attack_intensity"
+// axis); it maps per type — jamming: aggregate adversarial rate (tx/s),
+// flash-crowd: spike factor over the base rate, hub-outage: top-k hubs
+// struck. Unset parameters follow attack.Config's documented defaults.
+type AttackSpec struct {
+	// Type is the attack kind: "jamming", "flash-crowd" or "hub-outage".
+	Type string `json:"type"`
+	// Intensity is the swept attack strength (see above).
+	Intensity float64 `json:"intensity,omitempty"`
+	// Start and Duration bound the attack window in seconds (hub outages
+	// strike once at Start).
+	Start    float64 `json:"start,omitempty"`
+	Duration float64 `json:"duration,omitempty"`
+	// Attackers, HoldTime, Value parameterize jamming: attacker node count,
+	// preimage-withholding time (s) and payment value.
+	Attackers int     `json:"attackers,omitempty"`
+	HoldTime  float64 `json:"hold_time,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	// RegionFraction is the flash crowd's target-region size.
+	RegionFraction float64 `json:"region_fraction,omitempty"`
+	// RecoverAfter rejoins struck hubs this many seconds after the outage
+	// (0: no recovery).
+	RecoverAfter float64 `json:"recover_after,omitempty"`
+}
+
 // RoutingSpec overrides pcn.Config knobs; zero values keep the paper's
 // defaults from pcn.NewConfig.
 type RoutingSpec struct {
@@ -149,6 +178,10 @@ type RoutingSpec struct {
 	// exact PathFinder, "hub-labels" for the precomputed hub-label tier
 	// (byte-identical results; a performance knob for hub-heavy cells).
 	Override string `json:"override,omitempty"`
+	// MaxInFlightTUs caps concurrently locked TUs per channel direction
+	// (Lightning's max_accepted_htlcs — the resource HTLC jamming exhausts);
+	// 0 keeps the paper's unlimited setting.
+	MaxInFlightTUs int `json:"max_in_flight_tus,omitempty"`
 }
 
 // normalize fills documented defaults into a copy of the spec.
@@ -258,6 +291,17 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario: circulation_fraction is not applicable to a dynamic run (the dynamics demand process replaces the trace generator)")
 		}
 	}
+	if s.Attack != nil {
+		if s.Workload.Type != WorkSynthetic {
+			return fmt.Errorf("scenario: attacks require a synthetic workload (the injector derives its value and deadline rule from the workload block)")
+		}
+		if s.Attack.Intensity < 0 {
+			return fmt.Errorf("scenario: attack intensity must be >= 0, got %v", s.Attack.Intensity)
+		}
+		if err := s.attackConfig().Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	if s.Routing.PathType != "" {
 		if _, err := routing.PathTypeByName(s.Routing.PathType); err != nil {
 			return fmt.Errorf("scenario: %w", err)
@@ -268,7 +312,8 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario: %w", err)
 		}
 	}
-	if s.Routing.NumPaths < 0 || s.Routing.UpdateTauMs < 0 || s.Routing.HubCandidates < 0 || s.Routing.PlacementOmega < 0 {
+	if s.Routing.NumPaths < 0 || s.Routing.UpdateTauMs < 0 || s.Routing.HubCandidates < 0 ||
+		s.Routing.PlacementOmega < 0 || s.Routing.MaxInFlightTUs < 0 {
 		return fmt.Errorf("scenario: routing overrides must be >= 0")
 	}
 	if _, err := routingOverrideByName(s.Routing.Override); err != nil {
@@ -324,7 +369,41 @@ func (s Spec) config(scheme pcn.Scheme) (pcn.Config, error) {
 		return pcn.Config{}, err
 	}
 	cfg.RoutingOverride = ov
+	if r.MaxInFlightTUs > 0 {
+		cfg.MaxInFlightTUs = r.MaxInFlightTUs
+	}
 	return cfg, nil
+}
+
+// attackConfig maps the spec's attack block onto an attack.Config. The
+// generic Intensity knob maps per type (see AttackSpec); the flash crowd
+// echoes the workload's rate, value scale and timeout so spike payments
+// follow the base demand's distributions.
+func (s Spec) attackConfig() attack.Config {
+	n := s.normalize()
+	a := n.Attack
+	cfg := attack.Config{
+		Kind:           attack.Kind(a.Type),
+		Start:          a.Start,
+		Duration:       a.Duration,
+		Attackers:      a.Attackers,
+		HoldTime:       a.HoldTime,
+		Value:          a.Value,
+		RegionFraction: a.RegionFraction,
+		RecoverAfter:   a.RecoverAfter,
+		BaseRate:       n.Workload.Rate,
+		ValueScale:     n.Workload.ValueScale,
+		Timeout:        n.Workload.Timeout,
+	}
+	switch cfg.Kind {
+	case attack.KindJamming:
+		cfg.Rate = a.Intensity
+	case attack.KindFlashCrowd:
+		cfg.SpikeFactor = a.Intensity
+	case attack.KindHubOutage:
+		cfg.TopK = int(a.Intensity + 0.5)
+	}
+	return cfg
 }
 
 // hubCandidates is the candidate-list bound used by the placement panels.
@@ -344,7 +423,8 @@ func (o *OnOffSpec) config() *workload.OnOffConfig {
 
 // withParam returns a copy of the spec with the named sweep parameter set to
 // x. Parameters are the figure x-axes: "channel_scale", "value_scale",
-// "tau_ms", "nodes", "churn_rate"; "" is the identity (single-cell entries).
+// "tau_ms", "nodes", "churn_rate", "attack_intensity"; "" is the identity
+// (single-cell entries).
 func (s Spec) withParam(param string, x float64) (Spec, error) {
 	switch param {
 	case "":
@@ -364,6 +444,13 @@ func (s Spec) withParam(param string, x float64) (Spec, error) {
 		d := *s.Dynamics
 		d.ChurnRate = x
 		s.Dynamics = &d
+	case "attack_intensity":
+		if s.Attack == nil {
+			return s, fmt.Errorf("scenario: attack_intensity sweep needs an attack block")
+		}
+		a := *s.Attack
+		a.Intensity = x
+		s.Attack = &a
 	default:
 		return s, fmt.Errorf("scenario: unknown sweep parameter %q", param)
 	}

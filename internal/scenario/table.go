@@ -79,7 +79,20 @@ func SeriesTable(title, xLabel string, series []Series) Table {
 // ChurnTable renders the churn panel: one row per churn rate, TSR and delay
 // columns per variant.
 func ChurnTable(title string, tsr, delay []Series) Table {
-	t := Table{Title: title, Header: []string{"churn_rate"}}
+	return PanelTable(title, "churn_rate", tsr, delay)
+}
+
+// AttackTable renders the resilience panel: one row per attack intensity,
+// TSR and delay columns per variant.
+func AttackTable(title string, tsr, delay []Series) Table {
+	return PanelTable(title, "attack_intensity", tsr, delay)
+}
+
+// PanelTable renders a two-metric scheme panel over the named x-axis: one
+// row per x value, TSR and delay columns per variant. The column layout is
+// the golden-fixture churn-panel format, generalized over the axis label.
+func PanelTable(title, xLabel string, tsr, delay []Series) Table {
+	t := Table{Title: title, Header: []string{xLabel}}
 	for _, s := range tsr {
 		t.Header = append(t.Header, s.Name+" TSR")
 	}

@@ -67,16 +67,19 @@ type RouteResponse struct {
 	Paths []RoutePath `json:"paths"`
 }
 
-// ServerStats is a point-in-time view of serving activity.
+// ServerStats is a point-in-time view of serving activity. The JSON shape
+// is the /topology/stats wire contract: route-cache hit/miss counters and
+// the snapshot store's publication stats ride along with the serving
+// counters, so operators see cache efficiency and epoch churn in one fetch.
 type ServerStats struct {
-	Workers   int
-	Served    uint64 // queries answered (including unroutable)
-	Errors    uint64 // queries failing validation or computation
-	Shed      uint64 // queries refused by shutdown
-	CacheHits uint64
-	CacheMiss uint64
-	Epoch     uint64
-	Snapshots graph.SnapshotStats
+	Workers   int                 `json:"workers"`
+	Served    uint64              `json:"served"` // queries answered (including unroutable)
+	Errors    uint64              `json:"errors"` // queries failing validation or computation
+	Shed      uint64              `json:"shed"`   // queries refused by shutdown
+	CacheHits uint64              `json:"cache_hits"`
+	CacheMiss uint64              `json:"cache_misses"`
+	Epoch     uint64              `json:"epoch"`
+	Snapshots graph.SnapshotStats `json:"snapshots"`
 }
 
 type routeResult struct {

@@ -368,13 +368,33 @@ func TestHTTPEndpoints(t *testing.T) {
 	var stats struct {
 		Nodes     int    `json:"nodes"`
 		LiveEdges int    `json:"live_edges"`
-		Epoch     uint64 `json:"Epoch"`
+		Epoch     uint64 `json:"epoch"`
 	}
 	if err := json.Unmarshal(body, &stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Nodes != 60 || stats.LiveEdges == 0 {
 		t.Fatalf("/topology/stats payload: %s", body)
+	}
+	// The wire contract: cache and snapshot-store counters ride along under
+	// stable snake_case keys (the splicerd dashboard scrapes these).
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"workers", "served", "errors", "cache_hits", "cache_misses", "epoch", "snapshots"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("/topology/stats missing key %q: %s", key, body)
+		}
+	}
+	var snapStats map[string]json.RawMessage
+	if err := json.Unmarshal(raw["snapshots"], &snapStats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"publishes", "incremental_builds", "full_builds", "resyncs", "buffers", "recycled", "active_pins", "epoch"} {
+		if _, ok := snapStats[key]; !ok {
+			t.Fatalf("/topology/stats snapshots missing key %q: %s", key, raw["snapshots"])
+		}
 	}
 
 	// Shutdown flips /healthz to 503 and /route to 503.

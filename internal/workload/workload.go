@@ -119,6 +119,15 @@ type Tx struct {
 	Arrival   float64
 	// Deadline is Arrival + timeout; payments not completed by then fail.
 	Deadline float64
+	// Hold > 0 makes the sender withhold the settlement preimage for this
+	// many seconds after the last hop locks: every HTLC along the path stays
+	// locked until the hold expires (or the deadline forces the unwind). This
+	// is the channel-jamming/griefing primitive; 0 settles immediately.
+	Hold float64
+	// Adversarial marks attacker-issued payments. They are excluded from the
+	// run's Generated totals (and hence TSR/throughput), which measure honest
+	// demand only.
+	Adversarial bool
 }
 
 // Config controls trace generation.
@@ -311,6 +320,93 @@ func Generate(src *rng.Source, cfg Config) ([]Tx, error) {
 	}
 	if len(txs) == 0 {
 		return nil, fmt.Errorf("workload: trace is empty (rate %v, duration %v)", cfg.Rate, cfg.Duration)
+	}
+	return txs, nil
+}
+
+// FlashConfig parameterizes a flash-crowd demand shock: a sudden
+// arrival-rate spike concentrated on one region of the client space. The
+// spike superposes on a base trace — two independent Poisson processes sum
+// to a Poisson process — so during [Start, Start+Duration) the aggregate
+// rate targeting the region is SpikeFactor × the base rate.
+type FlashConfig struct {
+	// Start and Duration bound the shock window in seconds.
+	Start    float64
+	Duration float64
+	// SpikeFactor >= 1 multiplies the base rate during the window; the extra
+	// (SpikeFactor−1)·Rate arrivals are what GenerateFlash emits.
+	SpikeFactor float64
+	// RegionFraction in (0,1] sizes the targeted region: a contiguous span of
+	// the client slice whose members receive all spike payments.
+	RegionFraction float64
+	// IDBase is the first transaction ID assigned; spike IDs must not collide
+	// with the base trace's.
+	IDBase int
+}
+
+// Validate checks the shock parameters.
+func (f FlashConfig) Validate() error {
+	if f.Start < 0 || f.Duration <= 0 {
+		return fmt.Errorf("workload: flash window must have start >= 0 and positive duration, got %v+%v", f.Start, f.Duration)
+	}
+	if f.SpikeFactor < 1 {
+		return fmt.Errorf("workload: flash spike factor must be >= 1, got %v", f.SpikeFactor)
+	}
+	if f.RegionFraction <= 0 || f.RegionFraction > 1 {
+		return fmt.Errorf("workload: flash region fraction must be in (0,1], got %v", f.RegionFraction)
+	}
+	return nil
+}
+
+// GenerateFlash produces the spike component of a flash crowd: honest
+// payments (they count toward TSR) at rate (SpikeFactor−1)·base.Rate during
+// the window, every recipient drawn from one contiguous region of the
+// clients, senders drawn uniformly from everywhere. The result is sorted by
+// arrival; it is empty when SpikeFactor is 1.
+func GenerateFlash(src *rng.Source, base Config, f FlashConfig) ([]Tx, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	extraRate := (f.SpikeFactor - 1) * base.Rate
+	if extraRate <= 0 {
+		return nil, nil
+	}
+	arrivalSrc := src.Split(1)
+	endpointSrc := src.Split(2)
+	valueSrc := src.Split(3)
+	values := NewTxValueDist(valueSrc, base.ValueScale)
+
+	regionSize := int(f.RegionFraction * float64(len(base.Clients)))
+	if regionSize < 1 {
+		regionSize = 1
+	}
+	regionStart := 0
+	if n := len(base.Clients) - regionSize; n > 0 {
+		regionStart = src.IntN(n + 1)
+	}
+	region := base.Clients[regionStart : regionStart+regionSize]
+
+	var txs []Tx
+	id := f.IDBase
+	end := f.Start + f.Duration
+	for now := f.Start + arrivalSrc.Exponential(extraRate); now < end; now += arrivalSrc.Exponential(extraRate) {
+		r := region[endpointSrc.IntN(len(region))]
+		s := base.Clients[endpointSrc.IntN(len(base.Clients))]
+		for s == r {
+			s = base.Clients[endpointSrc.IntN(len(base.Clients))]
+		}
+		txs = append(txs, Tx{
+			ID:        id,
+			Sender:    s,
+			Recipient: r,
+			Value:     values.Sample(),
+			Arrival:   now,
+			Deadline:  now + base.Timeout,
+		})
+		id++
 	}
 	return txs, nil
 }
