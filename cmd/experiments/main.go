@@ -126,7 +126,7 @@ func main() {
 			}
 			return experiments.ChurnTable("Churn: TSR and delay vs churn rate (dynamic network)", tsr, delay), nil
 		},
-		"fig9a":    seriesTable("Fig 9(a): balance cost vs omega (small)", "omega", experiments.FigBalanceCost, small),
+		"fig9a": seriesTable("Fig 9(a): balance cost vs omega (small)", "omega", experiments.FigBalanceCost, small),
 		"fig9b": func() (experiments.Table, error) {
 			pts, err := experiments.FigCostTradeoff(small)
 			if err != nil {

@@ -127,6 +127,8 @@ func kindName(k scenario.Kind) string {
 		return "scheme-table"
 	case scenario.KindAttack:
 		return "attack-panel"
+	case scenario.KindRetry:
+		return "retry-panel"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -45,16 +45,17 @@ func main() {
 		candidates   = flag.Int("candidates", 10, "hub candidate list size")
 		churnRate    = flag.Float64("churn", 0, "topology churn events/sec applied by the writer goroutine (0 = static)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long in-flight queries get to finish on shutdown")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request deadline for /route and /plan (0 = none); exceeded requests answer 503 + Retry-After")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *nodes, *topo, *seed, *workers, *queueDepth, *candidates, *churnRate, *drainTimeout); err != nil {
+	if err := run(*addr, *nodes, *topo, *seed, *workers, *queueDepth, *candidates, *churnRate, *drainTimeout, *reqTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "splicerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, nodes int, topo string, seed uint64, workers, queueDepth, candidates int, churnRate float64, drainTimeout time.Duration) error {
+func run(addr string, nodes int, topo string, seed uint64, workers, queueDepth, candidates int, churnRate float64, drainTimeout, reqTimeout time.Duration) error {
 	src := rng.New(seed)
 	sizes := workload.NewChannelSizeDist(src.Split(1), 1)
 	var g *graph.Graph
@@ -77,7 +78,9 @@ func run(addr string, nodes int, topo string, seed uint64, workers, queueDepth, 
 		return err
 	}
 
-	s := serve.NewServer(net, serve.Options{Workers: workers, QueueDepth: queueDepth})
+	s := serve.NewServer(net, serve.Options{
+		Workers: workers, QueueDepth: queueDepth, RequestTimeout: reqTimeout,
+	})
 	fmt.Fprintf(os.Stderr, "splicerd: %d nodes, %d live channels, epoch %d, %d workers, listening on %s\n",
 		g.NumNodes(), g.NumLiveEdges(), s.Snapshots().Epoch(), workers, addr)
 
@@ -120,8 +123,8 @@ func run(addr string, nodes int, topo string, seed uint64, workers, queueDepth, 
 		return fmt.Errorf("shutdown leaked %d pinned epochs", pins)
 	}
 	st := s.Stats()
-	fmt.Fprintf(os.Stderr, "splicerd: served %d queries (%d errors, %d shed), final epoch %d\n",
-		st.Served, st.Errors, st.Shed, st.Epoch)
+	fmt.Fprintf(os.Stderr, "splicerd: served %d queries (%d errors, %d shed, %d saturated, %d timeouts), final epoch %d\n",
+		st.Served, st.Errors, st.Shed, st.Saturated, st.Timeouts, st.Epoch)
 	return nil
 }
 

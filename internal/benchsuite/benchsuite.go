@@ -76,6 +76,8 @@ func Suite(short bool) []Benchmark {
 		{Name: "path_core/unit_shortest_10000", Core: true, F: benchUnitShortest10k},
 		{Name: "path_core/label_query_10000", Core: true, F: benchLabelQuery10k},
 		{Name: "path_core/label_build_10000", Core: false, F: benchLabelBuild10k},
+		{Name: "reliability/store_observe", Core: true, F: benchStoreObserve},
+		{Name: "reliability/penalty_overlay_sp_2000", Core: true, F: benchPenaltyOverlaySP},
 		{Name: "figures/fig8d_throughput_large", Core: false, F: figBench(short)},
 		{Name: "figures/figscale_100k", Core: false, F: figscale100kBench(short)},
 	}

@@ -1,0 +1,65 @@
+// Reliability-layer microbenchmarks: the failure-aware store's observation
+// hot path (what every TU resolution pays when retries are armed) and a
+// penalty-overlay Dijkstra query (what every retry re-plan pays). Both are
+// Core: fixed inputs, deterministic allocs/op, gated against the pins. The
+// retry-off hot path has no entry here on purpose — with the layer unarmed
+// the store does not exist, so its zero-overhead claim is covered by the
+// unchanged sim_core/path_core pins instead.
+
+package benchsuite
+
+import (
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/reliability"
+)
+
+// benchStoreObserve drives the observation fold: interleaved failures,
+// successes, and penalty reads across a fixed edge range, decay math
+// included. The edge table is pre-grown so the measured loop is
+// allocation-free.
+func benchStoreObserve(b *testing.B) {
+	const edges = 4096
+	st := reliability.NewStore(reliability.NewConfig())
+	st.ObserveSuccess(graph.EdgeID(edges-1), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := graph.EdgeID(i % edges)
+		now := float64(i) * 0.001
+		if i%3 == 0 {
+			st.ObserveFailure(e, now)
+		} else {
+			st.ObserveSuccess(e, now)
+		}
+		_ = st.Penalty(e, now)
+	}
+}
+
+// benchPenaltyOverlaySP is the retry re-plan query: a full Dijkstra on the
+// shared 2000-node graph through the store's penalty overlay, with enough
+// seeded failures that the overlay does real decay/penalty work rather than
+// collapsing to the empty-store UnitWeight fast path.
+func benchPenaltyOverlaySP(b *testing.B) {
+	g := benchGraph(b, 6, 2000)
+	pf := graph.NewPathFinder(g)
+	n := g.NumNodes()
+	st := reliability.NewStore(reliability.NewConfig())
+	m := g.NumLiveEdges()
+	for i := 0; i < 256; i++ {
+		st.ObserveFailure(graph.EdgeID((i*7919)%m), 0.1)
+	}
+	// Query past every exclusion window so the seeded failures penalize
+	// edges instead of disconnecting them.
+	now := 0.1 + st.Config().Exclusion + 1
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src := graph.NodeID(i % n)
+		dst := graph.NodeID((i + n/2) % n)
+		if _, ok := pf.ShortestPath(src, dst, st.Weight(now)); !ok {
+			b.Fatalf("%d->%d unreachable", src, dst)
+		}
+	}
+}

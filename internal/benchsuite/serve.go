@@ -4,11 +4,14 @@
 // wall-clock load runs — serve.LoadGen drives the pool for a fixed duration
 // — so they land in the report's "serve" section, not the gated Core list.
 //
-// Two entries are recorded: a single-worker baseline and a pool sized to
-// the machine (max(2, NumCPU) workers). On a multi-core host the pool
-// entry's routes/sec should exceed the baseline; on a single core the two
-// are statistically identical (the report carries num_cpu, so readers can
-// tell which regime produced the numbers).
+// Three entries are recorded: a single-worker baseline, a pool sized to
+// the machine (max(2, NumCPU) workers), and the same pool under an injected
+// per-job worker stall. On a multi-core host the pool entry's routes/sec
+// should exceed the baseline; on a single core the two are statistically
+// identical (the report carries num_cpu, so readers can tell which regime
+// produced the numbers). The stalled entry is the graceful-degradation
+// number: throughput drops and saturation sheds appear, but the run stays
+// error-bounded instead of wedging.
 
 package benchsuite
 
@@ -32,6 +35,8 @@ type ServeResult struct {
 	Clients      int     `json:"clients"`
 	Requests     uint64  `json:"requests"`
 	Errors       uint64  `json:"errors"`
+	Saturated    uint64  `json:"saturated,omitempty"`
+	StallMS      float64 `json:"stall_ms,omitempty"`
 	DurationSecs float64 `json:"duration_secs"`
 	RoutesPerSec float64 `json:"routes_per_sec"`
 }
@@ -61,15 +66,23 @@ func RunServe(duration time.Duration) ([]ServeResult, error) {
 	// from pool capacity, not client count.
 	clients := 2 * poolWorkers
 
+	// The injected worker stall for the degradation entry: large against the
+	// per-query compute (a unit-SP on 10k nodes is tens of microseconds), so
+	// it reliably saturates the pool, but small enough that the stalled run
+	// still completes thousands of routes in a 1s smoke.
+	const stall = 500 * time.Microsecond
+
 	var out []ServeResult
 	for _, run := range []struct {
 		name    string
 		workers int
+		stall   time.Duration
 	}{
-		{"serve/routes_per_sec_10000_w1", 1},
-		{"serve/routes_per_sec_10000", poolWorkers},
+		{"serve/routes_per_sec_10000_w1", 1, 0},
+		{"serve/routes_per_sec_10000", poolWorkers, 0},
+		{"serve/routes_per_sec_10000_stalled", poolWorkers, stall},
 	} {
-		s := serve.NewServer(net, serve.Options{Workers: run.workers})
+		s := serve.NewServer(net, serve.Options{Workers: run.workers, StallDelay: run.stall})
 		st := serve.LoadGen(context.Background(), s, serve.LoadGenConfig{
 			Clients:     clients,
 			Duration:    duration,
@@ -87,6 +100,8 @@ func RunServe(duration time.Duration) ([]ServeResult, error) {
 			Clients:      st.Clients,
 			Requests:     st.Requests,
 			Errors:       st.Errors,
+			Saturated:    st.Saturated,
+			StallMS:      float64(run.stall) / float64(time.Millisecond),
 			DurationSecs: st.DurationSecs,
 			RoutesPerSec: st.RoutesPerSec,
 		})

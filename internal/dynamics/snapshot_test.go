@@ -8,6 +8,7 @@ package dynamics
 // snapshots does not perturb the run itself.
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/splicer-pcn/splicer/internal/graph"
@@ -82,7 +83,7 @@ func TestSnapshotsDoNotPerturbDrivenRun(t *testing.T) {
 	}
 	plainRes, plainLog := run(false)
 	snapRes, snapLog := run(true)
-	if plainRes != snapRes {
+	if !reflect.DeepEqual(plainRes, snapRes) {
 		t.Fatalf("results diverge with snapshots enabled:\nplain %+v\nsnap  %+v", plainRes, snapRes)
 	}
 	if len(plainLog) != len(snapLog) {

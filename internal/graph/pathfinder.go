@@ -29,7 +29,7 @@ type PathFinder struct {
 	// loop.
 	state []uint32
 	query uint32
-	heap     nodeHeap
+	heap  nodeHeap
 
 	// Yen scratch.
 	bannedNode []bool

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/reliability"
 	"github.com/splicer-pcn/splicer/internal/rng"
 	"github.com/splicer-pcn/splicer/internal/topology"
 	"github.com/splicer-pcn/splicer/internal/workload"
@@ -116,11 +117,17 @@ func TestHoldReleasesSlots(t *testing.T) {
 // depart/rejoin) through one run and asserts the conservation-of-funds
 // invariant at the end — the oracle that the hold→timeout→Refund path and
 // the dynamic mutators never mint or strand funds no matter how they
-// interleave.
+// interleave. The first byte's parity additionally arms the retry layer, so
+// the corpus explores retry interleavings too: a resurrected TU re-locking a
+// new path while churn closes channels underneath it must conserve exactly
+// like a plain abort.
 func FuzzConservation(f *testing.F) {
 	f.Add([]byte{0, 1, 20, 1, 3, 9, 2, 0, 0, 5, 4, 0, 6, 4, 0, 3, 2, 8})
 	f.Add([]byte{1, 0, 5, 1, 5, 0, 2, 1, 1, 3, 0, 7, 4, 2, 2, 0, 9, 3})
 	f.Add([]byte{5, 1, 0, 5, 2, 0, 0, 3, 4, 6, 1, 0, 6, 2, 0, 1, 4, 11})
+	// Retry-armed (odd first byte) with churn ops that invalidate live paths.
+	f.Add([]byte{3, 2, 14, 0, 5, 9, 2, 3, 1, 0, 8, 2, 2, 1, 0, 0, 4, 17})
+	f.Add([]byte{7, 0, 11, 1, 2, 4, 5, 6, 0, 0, 9, 3, 6, 6, 0, 0, 1, 13})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		src := rng.New(77)
 		sizes := workload.NewChannelSizeDist(src.Split(1), 1)
@@ -130,6 +137,10 @@ func FuzzConservation(f *testing.F) {
 		}
 		cfg := NewConfig(SchemeShortestPath)
 		cfg.MaxInFlightTUs = 3
+		if len(data) > 0 && data[0]%2 == 1 {
+			cfg.Retry = reliability.NewConfig()
+			cfg.Retry.Seed = uint64(data[0])
+		}
 		n, err := NewNetwork(g, cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package pcn
 
 import (
+	"errors"
 	"sort"
 
 	"github.com/splicer-pcn/splicer/internal/channel"
@@ -53,6 +54,9 @@ type tuRun struct {
 	}
 	liveIdx int
 	done    bool
+	// attempts counts completed send attempts beyond the first (see
+	// retry.go); 0 unless Config.Retry is armed and this TU was retried.
+	attempts int
 	// advance is the hop-forwarding closure, built once per TU and reused
 	// for every per-hop timer instead of allocating a closure per hop.
 	advance func()
@@ -98,7 +102,14 @@ func (n *Network) dispatch(tx workload.Tx) {
 	}
 	paths, allocs, err := n.policy.Plan(n, tx)
 	if err != nil || len(paths) == 0 || len(allocs) == 0 {
-		n.failTx(&txRun{tx: tx}, "no_route")
+		reason := "no_route"
+		if errors.Is(err, ErrNoFlow) {
+			// Connectivity existed but the candidate paths could not carry
+			// the value (max-flow infeasible) — a capacity failure, not a
+			// reachability failure, so it gets its own reason column.
+			reason = "no_flow"
+		}
+		n.failTx(&txRun{tx: tx}, reason)
 		return
 	}
 	run := &txRun{
@@ -379,8 +390,17 @@ func (n *Network) abortLockedHops(tu *tuRun, through int) {
 	tu.lockedThrough = 0
 }
 
-// resolveTU updates rate control and the parent payment.
+// resolveTU updates rate control and the parent payment. When the retry
+// layer is armed it sees every resolution first: outcomes feed the
+// reliability store, and a retryable abort may resurrect the TU instead of
+// resolving it (see retry.go).
 func (n *Network) resolveTU(tu *tuRun, ok bool, reason string) {
+	if n.relStore != nil {
+		n.observeTU(tu, ok, reason)
+		if !ok && n.maybeRetryTU(tu, reason) {
+			return
+		}
+	}
 	run := tu.tx
 	if rc := run.rc; rc != nil && tu.path.Len() > 0 {
 		if ok {
@@ -393,9 +413,15 @@ func (n *Network) resolveTU(tu *tuRun, ok bool, reason string) {
 	run.remaining--
 	if ok {
 		n.metrics.AddHandle(n.mh.tuCompleted, 1)
+		if tu.attempts > 0 {
+			n.metrics.AddHandle(n.mh.tuRetryRecovered, 1)
+		}
 	} else {
 		n.metrics.AddHandle(n.mh.tuFailed, 1)
 		n.metrics.AddHandle(n.tuFailedReasonHandle(reason), 1)
+		if tu.attempts > 0 {
+			n.metrics.AddHandle(n.mh.tuRetryExhausted, 1)
+		}
 		if !run.failed {
 			run.failed = true
 			n.cancelTx(run)

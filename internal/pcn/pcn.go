@@ -11,10 +11,13 @@ package pcn
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/splicer-pcn/splicer/internal/channel"
 	"github.com/splicer-pcn/splicer/internal/graph"
 	"github.com/splicer-pcn/splicer/internal/placement"
+	"github.com/splicer-pcn/splicer/internal/reliability"
+	"github.com/splicer-pcn/splicer/internal/rng"
 	"github.com/splicer-pcn/splicer/internal/routing"
 	"github.com/splicer-pcn/splicer/internal/sim"
 	"github.com/splicer-pcn/splicer/internal/topology"
@@ -161,6 +164,14 @@ type Config struct {
 	FlashElephantThreshold float64
 	// FlashMicePaths is the number of precomputed mice paths.
 	FlashMicePaths int
+
+	// Retry arms the failure-aware retry layer (internal/reliability):
+	// per-edge penalty learning with time decay, hard exclusion of recently
+	// failed hops, and bounded per-TU re-sends within the payment deadline.
+	// The zero value (any MaxAttempts <= 1) leaves the payment lifecycle
+	// byte-identical to the retry-less simulator — no store, no
+	// observations, no extra rng draws.
+	Retry reliability.Config
 }
 
 // NewConfig returns the paper's default parameters for the given scheme.
@@ -219,6 +230,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxInFlightTUs < 0 {
 		return fmt.Errorf("pcn: MaxInFlightTUs must be >= 0, got %d", c.MaxInFlightTUs)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -313,6 +327,11 @@ type Network struct {
 	// capitalIn is the recorded capital inflow backing the
 	// conservation-of-funds invariant (see invariant.go).
 	capitalIn float64
+
+	// Failure-aware retry state (see retry.go): both nil/unset unless
+	// Config.Retry is armed, so the unarmed lifecycle pays one nil check.
+	relStore *reliability.Store
+	retryRng *rng.Source
 }
 
 // NewNetwork builds a simulation over graph g under cfg. The graph's edge
@@ -353,6 +372,10 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 	}
 	n.initMetricHandles()
 	n.priceFn = n.priceOf
+	if cfg.Retry.Armed() {
+		n.relStore = reliability.NewStore(cfg.Retry)
+		n.retryRng = rng.New(cfg.Retry.Seed)
+	}
 	for i := 0; i < g.NumEdges(); i++ {
 		e := g.Edge(graph.EdgeID(i))
 		ch, err := channel.New(e.ID, e.U, e.V, e.CapFwd, e.CapRev)
@@ -736,6 +759,19 @@ type Result struct {
 	LabelFallbacks          int // unit queries routed to the exact finder
 	LabelBuilds             int // per-hub tree constructions (incl. repairs)
 	LabelRepairs            int // tree rebuilds forced by churn staleness
+
+	// Failure-aware retry accounting (zero unless Config.Retry is armed):
+	// RetryAttempts counts re-sends, RetryRecovered TUs that settled after at
+	// least one retry, RetryExhausted TUs that still failed after retrying.
+	RetryAttempts  int
+	RetryRecovered int
+	RetryExhausted int
+
+	// FailureReasons is the per-reason failure breakdown: counts keyed by
+	// abort reason, merging the TU-level (tu_failed_<reason>) and
+	// payment-level (tx_failed_<reason>) counters. Nil when the run recorded
+	// no attributed failures.
+	FailureReasons map[string]int
 }
 
 // Run executes the trace and returns the summary. The horizon extends past
@@ -901,5 +937,46 @@ func (n *Network) summarize() Result {
 		n.metrics.AddHandle(n.mh.labelBuilds, float64(r.LabelBuilds)-n.metrics.Counter("label_builds"))
 		n.metrics.AddHandle(n.mh.labelRepairs, float64(r.LabelRepairs)-n.metrics.Counter("label_repairs"))
 	}
+	r.RetryAttempts = int(n.metrics.Counter("tu_retried"))
+	r.RetryRecovered = int(n.metrics.Counter("tu_retry_recovered"))
+	r.RetryExhausted = int(n.metrics.Counter("tu_retry_exhausted"))
+	// Fold the reason-suffixed failure counters into one breakdown map.
+	// CounterNames is sorted, so the extraction order (and hence any
+	// downstream fold over sorted keys) is deterministic.
+	for _, name := range n.metrics.CounterNames() {
+		reason, ok := strings.CutPrefix(name, "tu_failed_")
+		if !ok {
+			reason, ok = strings.CutPrefix(name, "tx_failed_")
+		}
+		if !ok || reason == "" {
+			continue
+		}
+		if c := int(n.metrics.Counter(name)); c > 0 {
+			if r.FailureReasons == nil {
+				r.FailureReasons = make(map[string]int)
+			}
+			r.FailureReasons[reason] += c
+		}
+	}
 	return r
+}
+
+// ReliabilityStats returns the retry layer's store counters (zero Stats when
+// Config.Retry is unarmed).
+func (n *Network) ReliabilityStats() reliability.Stats {
+	if n.relStore == nil {
+		return reliability.Stats{}
+	}
+	return n.relStore.Stats()
+}
+
+// SeedRetryJitter replaces the retry backoff-jitter stream. The scenario
+// layer calls it with the spec source's Split(6) as the LAST split drawn
+// during a build, so arming retries never shifts the channel-size, topology,
+// workload, dynamics or attack streams (see the split-label contract in
+// internal/scenario/spec.go). No-op when retries are unarmed.
+func (n *Network) SeedRetryJitter(src *rng.Source) {
+	if n.relStore != nil && src != nil {
+		n.retryRng = src
+	}
 }

@@ -1,6 +1,7 @@
 package pcn
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,12 @@ import (
 	"github.com/splicer-pcn/splicer/internal/graph"
 	"github.com/splicer-pcn/splicer/internal/workload"
 )
+
+// ErrNoFlow reports that routing found the endpoints connected but the
+// candidate paths could not carry the payment's value (max-flow infeasible).
+// Plan implementations return it (possibly wrapped) so dispatch records the
+// failure as "no_flow" instead of the generic "no_route".
+var ErrNoFlow = errors.New("pcn: insufficient flow for payment value")
 
 // Allocation is a planned (path, value) assignment for one transaction unit.
 // PathIdx == -1 defers the path choice to the rate controller at send time
@@ -47,7 +54,8 @@ type SchemePolicy interface {
 
 	// Plan computes the path set and per-TU allocations for a payment.
 	// Returning an empty path or allocation set fails the payment with
-	// "no_route".
+	// "no_route"; returning an error wrapping ErrNoFlow fails it with
+	// "no_flow" (connected but capacity-infeasible).
 	Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error)
 
 	// UsesQueues enables channel waiting queues (Splicer, Spider).

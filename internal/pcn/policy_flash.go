@@ -51,7 +51,9 @@ func (p *flashPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocati
 		}
 		total, flows := view.MaxFlow(tx.Sender, tx.Recipient, tx.Value)
 		if total < tx.Value-1e-9 {
-			return nil, nil, nil // insufficient flow: payment infeasible now
+			// Infeasible now on the stale view: distinct from no_route — the
+			// endpoints are connected, the balances just can't carry it.
+			return nil, nil, ErrNoFlow
 		}
 		paths := make([]graph.Path, len(flows))
 		allocs := make([]Allocation, len(flows))

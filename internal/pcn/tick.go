@@ -100,6 +100,7 @@ type metricHandles struct {
 	txGenerated, txCompleted, txFailed, valueCompleted, fees sim.CounterHandle
 	tuSent, tuQueued, tuCompleted, tuFailed, tuMarked        sim.CounterHandle
 	tuHeld, tuHeldValue                                      sim.CounterHandle
+	tuRetried, tuRetryRecovered, tuRetryExhausted            sim.CounterHandle
 	advGenerated, advCompleted, advFailed                    sim.CounterHandle
 	txDelay, queueDelay                                      sim.SampleHandle
 	tuFailedReason, txFailedReason                           map[string]sim.CounterHandle
@@ -115,25 +116,28 @@ type metricHandles struct {
 func (n *Network) initMetricHandles() {
 	m := n.metrics
 	n.mh = metricHandles{
-		txGenerated:    m.CounterHandle("tx_generated"),
-		txCompleted:    m.CounterHandle("tx_completed"),
-		txFailed:       m.CounterHandle("tx_failed"),
-		valueCompleted: m.CounterHandle("value_completed"),
-		fees:           m.CounterHandle("fees"),
-		tuSent:         m.CounterHandle("tu_sent"),
-		tuQueued:       m.CounterHandle("tu_queued"),
-		tuCompleted:    m.CounterHandle("tu_completed"),
-		tuFailed:       m.CounterHandle("tu_failed"),
-		tuMarked:       m.CounterHandle("tu_marked"),
-		tuHeld:         m.CounterHandle("tu_held"),
-		tuHeldValue:    m.CounterHandle("tu_held_value"),
-		advGenerated:   m.CounterHandle("adv_generated"),
-		advCompleted:   m.CounterHandle("adv_completed"),
-		advFailed:      m.CounterHandle("adv_failed"),
-		txDelay:        m.SampleHandle("tx_delay"),
-		queueDelay:     m.SampleHandle("queue_delay"),
-		tuFailedReason: map[string]sim.CounterHandle{},
-		txFailedReason: map[string]sim.CounterHandle{},
+		txGenerated:      m.CounterHandle("tx_generated"),
+		txCompleted:      m.CounterHandle("tx_completed"),
+		txFailed:         m.CounterHandle("tx_failed"),
+		valueCompleted:   m.CounterHandle("value_completed"),
+		fees:             m.CounterHandle("fees"),
+		tuSent:           m.CounterHandle("tu_sent"),
+		tuQueued:         m.CounterHandle("tu_queued"),
+		tuCompleted:      m.CounterHandle("tu_completed"),
+		tuFailed:         m.CounterHandle("tu_failed"),
+		tuMarked:         m.CounterHandle("tu_marked"),
+		tuHeld:           m.CounterHandle("tu_held"),
+		tuHeldValue:      m.CounterHandle("tu_held_value"),
+		tuRetried:        m.CounterHandle("tu_retried"),
+		tuRetryRecovered: m.CounterHandle("tu_retry_recovered"),
+		tuRetryExhausted: m.CounterHandle("tu_retry_exhausted"),
+		advGenerated:     m.CounterHandle("adv_generated"),
+		advCompleted:     m.CounterHandle("adv_completed"),
+		advFailed:        m.CounterHandle("adv_failed"),
+		txDelay:          m.SampleHandle("tx_delay"),
+		queueDelay:       m.SampleHandle("queue_delay"),
+		tuFailedReason:   map[string]sim.CounterHandle{},
+		txFailedReason:   map[string]sim.CounterHandle{},
 
 		routeCacheHits:          m.CounterHandle("route_cache_hits"),
 		routeCacheMisses:        m.CounterHandle("route_cache_misses"),

@@ -186,6 +186,7 @@ func (s Spec) RunScheme(scheme pcn.Scheme) (pcn.Result, error) {
 				return pcn.Result{}, err
 			}
 		}
+		st.seedRetry(net)
 		res, err := d.Run()
 		if err != nil {
 			return pcn.Result{}, err
@@ -207,6 +208,7 @@ func (s Spec) RunScheme(scheme pcn.Scheme) (pcn.Result, error) {
 		}
 		return res, net.CheckConservation()
 	}
+	st.seedRetry(net)
 	res, err := net.Run(trace)
 	if err != nil {
 		return pcn.Result{}, err
@@ -244,7 +246,19 @@ func (s Spec) runStaticAttack(st *buildState, net *pcn.Network, trace []workload
 	if err := inj.Install(); err != nil {
 		return pcn.Result{}, err
 	}
+	st.seedRetry(net)
 	return net.Execute(horizon)
+}
+
+// seedRetry hands the retry layer its backoff-jitter stream — the spec
+// source's Split(6). It is the LAST split drawn in every run path (after
+// Split(4)/Split(5) when those are armed) and is drawn only when the spec's
+// retry block is armed, so cells without retries consume exactly the
+// historical stream sequence and stay byte-identical.
+func (st *buildState) seedRetry(net *pcn.Network) {
+	if r := st.spec.Routing.Retry; r != nil && r.config().Armed() {
+		net.SeedRetryJitter(st.src.Split(6))
+	}
 }
 
 // Run executes the cell with the spec's own scheme.

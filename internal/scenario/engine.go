@@ -247,6 +247,92 @@ func RunAttackPanel(base Spec, intensities []float64, schemeNames []string, opts
 	return runVariantPanel(base, "attack_intensity", intensities, schemeNames, opts)
 }
 
+// RunRetryPanel is the retry-resilience panel: every scheme runs the same
+// attacked cell twice — retries unarmed ("<scheme>") and armed
+// ("<scheme>+retry") — so each pair of columns quantifies the TSR the
+// failure-aware retry layer recovers under that attack. The base spec must
+// carry an attack block (Intensity swept), a dynamics block, and an armed
+// routing.retry block (the off variant strips it). A per-variant failure
+// breakdown rides along so the recovery is attributable by abort reason.
+func RunRetryPanel(base Spec, intensities []float64, schemeNames []string, opts RunOptions) (tsr, delay []Series, reasons []ReasonSeries, err error) {
+	if base.Attack == nil {
+		return nil, nil, nil, fmt.Errorf("scenario: retry panel needs an attack block in spec %q", base.Name)
+	}
+	if base.Dynamics == nil {
+		return nil, nil, nil, fmt.Errorf("scenario: retry panel needs a dynamics block in spec %q", base.Name)
+	}
+	if base.Routing.Retry == nil {
+		return nil, nil, nil, fmt.Errorf("scenario: retry panel needs an armed routing.retry block in spec %q", base.Name)
+	}
+	schemes, err := parseSchemes(schemeNames)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	type retryVariant struct {
+		scheme pcn.Scheme
+		label  string // aggregation label; "retry" for the armed variant
+		name   string
+		armed  bool
+	}
+	var variants []retryVariant
+	for _, sc := range schemes {
+		variants = append(variants,
+			retryVariant{scheme: sc, name: sc.String()},
+			retryVariant{scheme: sc, label: "retry", name: sc.String() + "+retry", armed: true})
+	}
+	var cells []sweep.Cell
+	for _, x := range intensities {
+		for _, v := range variants {
+			for _, seed := range opts.seedsFor(base.Seed) {
+				scen, err := base.withParam("attack_intensity", x)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				scen.Seed = seed
+				if !v.armed {
+					scen.Routing.Retry = nil
+				}
+				cells = append(cells, scen.Cell(v.scheme, "attack_intensity", x, v.label))
+			}
+		}
+	}
+	results := sweep.Run(cells, opts.workerCount())
+	if err := sweep.FirstErr(results); err != nil {
+		return nil, nil, nil, err
+	}
+	type key struct {
+		scheme pcn.Scheme
+		label  string
+		x      float64
+	}
+	byKey := map[key]sweep.Summary{}
+	for _, s := range sweep.Aggregate(results) {
+		byKey[key{s.Scheme, s.Label, s.X}] = s
+	}
+	tsr = make([]Series, len(variants))
+	delay = make([]Series, len(variants))
+	reasons = make([]ReasonSeries, len(variants))
+	for vi, v := range variants {
+		tsr[vi].Name = v.name
+		delay[vi].Name = v.name
+		reasons[vi].Name = v.name
+		for _, x := range intensities {
+			s := byKey[key{v.scheme, v.label, x}]
+			tsr[vi].Points = append(tsr[vi].Points, Point{X: x, Y: s.TSR.Mean})
+			delay[vi].Points = append(delay[vi].Points, Point{X: x, Y: s.MeanDelay.Mean})
+			rp := ReasonPoint{X: x}
+			if len(s.FailureReasons) > 0 {
+				rp.Reasons = make(map[string]float64, len(s.FailureReasons))
+				for reason, st := range s.FailureReasons {
+					rp.Reasons[reason] = st.Mean
+				}
+			}
+			reasons[vi].Points = append(reasons[vi].Points, rp)
+		}
+	}
+	return tsr, delay, reasons, nil
+}
+
 // SchemeTable runs the spec once per scheme and tabulates the headline
 // metrics — the presentation for standalone scenarios (replayed traces,
 // bursty workloads) that have no swept axis.
@@ -270,7 +356,7 @@ func SchemeTable(base Spec, schemeNames []string, opts RunOptions) (Table, error
 	t := Table{
 		Title: fmt.Sprintf("Scenario %s: scheme comparison", base.Name),
 		Header: []string{"scheme", "tsr", "norm_throughput", "mean_delay_s", "mean_queue_delay_s", "mean_imbalance",
-			"cache_hit_rate", "label_served", "label_repairs"},
+			"cache_hit_rate", "label_served", "label_repairs", "fail_reasons"},
 	}
 	byScheme := map[pcn.Scheme]sweep.Summary{}
 	for _, s := range sweep.Aggregate(results) {
@@ -278,6 +364,10 @@ func SchemeTable(base Spec, schemeNames []string, opts RunOptions) (Table, error
 	}
 	for _, scheme := range schemes {
 		s := byScheme[scheme]
+		reasonMeans := make(map[string]float64, len(s.FailureReasons))
+		for reason, st := range s.FailureReasons {
+			reasonMeans[reason] = st.Mean
+		}
 		t.Rows = append(t.Rows, []string{
 			scheme.String(),
 			fmt.Sprintf("%.4f", s.TSR.Mean),
@@ -288,6 +378,7 @@ func SchemeTable(base Spec, schemeNames []string, opts RunOptions) (Table, error
 			fmt.Sprintf("%.4f", s.CacheHitRate.Mean),
 			fmt.Sprintf("%.1f", s.LabelServed.Mean),
 			fmt.Sprintf("%.1f", s.LabelRepairs.Mean),
+			topReasons(reasonMeans),
 		})
 	}
 	return t, nil

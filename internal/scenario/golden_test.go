@@ -23,9 +23,15 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite golden CSV fixture
 // fig7c pins the static figure path (scheme sweep, tau mutation), figchurn
 // the dynamics path (timeline, driver, online re-placement), table2 the
 // config-mutation path (path types, path counts, schedulers, both scales).
-// The remaining registry entries run through the same four runners, so they
-// are pinned transitively.
-var goldenEntries = []string{"fig7c", "figchurn", "table2"}
+// The retry-* entries pin the retry-resilience panel: the unarmed columns
+// double as a second witness that arming the spec's retry block does not
+// move any retry-off cell (the Split(6)-last contract), and the armed
+// columns pin the recovered TSR per scheme. The remaining registry entries
+// run through the same runners, so they are pinned transitively.
+var goldenEntries = []string{
+	"fig7c", "figchurn", "table2",
+	"retry-jamming", "retry-flash-crowd", "retry-hub-outage",
+}
 
 func goldenPath(name string) string {
 	return filepath.Join("testdata", "golden", name+".csv")

@@ -141,6 +141,45 @@ func HubOutageSpec() Spec {
 	return s
 }
 
+// DefaultRetrySpec is the retry-resilience panel's armed configuration:
+// max_attempts 3 (the first send plus two retries) with the reliability
+// layer's default backoff/decay/exclusion knobs.
+func DefaultRetrySpec() *RetrySpec {
+	return &RetrySpec{MaxAttempts: 3}
+}
+
+// RetryJammingSpec, RetryFlashCrowdSpec and RetryHubOutageSpec are the three
+// retry-resilience scenarios: the PR-8 attack cells at one representative
+// intensity each, with the failure-aware retry layer armed. The panel runs
+// each scheme with retries off and on, so the recovered TSR is read directly
+// off adjacent columns.
+func RetryJammingSpec() Spec {
+	s := JammingSpec()
+	s.Name = "retry-jamming"
+	s.Description = "retry resilience under HTLC jamming (20 tx/s adversarial): recovered TSR per scheme, retries off vs on"
+	s.Attack.Intensity = 20
+	s.Routing.Retry = DefaultRetrySpec()
+	return s
+}
+
+func RetryFlashCrowdSpec() Spec {
+	s := FlashCrowdSpec()
+	s.Name = "retry-flash-crowd"
+	s.Description = "retry resilience under a 30x flash crowd: recovered TSR per scheme, retries off vs on"
+	s.Attack.Intensity = 30
+	s.Routing.Retry = DefaultRetrySpec()
+	return s
+}
+
+func RetryHubOutageSpec() Spec {
+	s := HubOutageSpec()
+	s.Name = "retry-hub-outage"
+	s.Description = "retry resilience under a top-4 hub outage: recovered TSR per scheme, retries off vs on"
+	s.Attack.Intensity = 4
+	s.Routing.Retry = DefaultRetrySpec()
+	return s
+}
+
 // XLScaleSpec is the extreme-scale series (20k-100k nodes): scale-free
 // growth (Watts–Strogatz rewiring is quadratic in the ring at these sizes,
 // Barabási–Albert is not), a thin workload so path computation rather than
@@ -249,6 +288,10 @@ const (
 	// KindAttack is the resilience panel (TSR + delay vs attack intensity,
 	// schemes + online variant).
 	KindAttack
+	// KindRetry is the retry-resilience panel: every scheme runs the attacked
+	// cell with retries off and on, quantifying the TSR the failure-aware
+	// retry layer recovers (plus a per-variant failure-reason breakdown).
+	KindRetry
 )
 
 // Entry is one named, runnable scenario.
@@ -333,6 +376,12 @@ func (e *Entry) Run(opts RunOptions) (Table, error) {
 			return Table{}, err
 		}
 		return AttackTable(e.Title, tsr, delay), nil
+	case KindRetry:
+		tsr, delay, reasons, err := RunRetryPanel(e.Base, e.Axis.Values, e.Schemes, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		return RetryTable(e.Title, tsr, delay, reasons), nil
 	default:
 		return Table{}, fmt.Errorf("scenario: entry %q has unknown kind %d", e.Name, e.Kind)
 	}
@@ -383,6 +432,16 @@ func buildRegistry() map[string]*Entry {
 			Name: name, Title: title, Kind: KindAttack, Base: base,
 			XLabel:  "attack_intensity",
 			Axis:    Axis{Param: "attack_intensity", Values: grid},
+			Schemes: ChurnSchemes(), Description: base.Description,
+		}
+	}
+	retryEntry := func(name, title string, base Spec) *Entry {
+		return &Entry{
+			Name: name, Title: title, Kind: KindRetry, Base: base,
+			XLabel: "attack_intensity",
+			// One representative intensity per attack (the spec carries it):
+			// the panel's axis is the off/on column pairs, not the grid.
+			Axis:    Axis{Param: "attack_intensity", Values: []float64{base.Attack.Intensity}},
 			Schemes: ChurnSchemes(), Description: base.Description,
 		}
 	}
@@ -444,6 +503,9 @@ func buildRegistry() map[string]*Entry {
 		attackEntry("jamming", "Resilience: TSR and delay vs HTLC-jamming rate", JammingSpec(), JammingRateGrid()),
 		attackEntry("flash-crowd", "Resilience: TSR and delay vs flash-crowd spike factor", FlashCrowdSpec(), SpikeFactorGrid()),
 		attackEntry("hub-outage", "Resilience: TSR and delay vs correlated hub outages (top-k)", HubOutageSpec(), HubOutageGrid()),
+		retryEntry("retry-jamming", "Retry resilience: recovered TSR under HTLC jamming (20 tx/s)", RetryJammingSpec()),
+		retryEntry("retry-flash-crowd", "Retry resilience: recovered TSR under a 30x flash crowd", RetryFlashCrowdSpec()),
+		retryEntry("retry-hub-outage", "Retry resilience: recovered TSR under a top-4 hub outage", RetryHubOutageSpec()),
 	}
 	reg := make(map[string]*Entry, len(entries))
 	for _, e := range entries {

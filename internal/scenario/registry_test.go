@@ -16,6 +16,7 @@ func TestRegistryCompleteness(t *testing.T) {
 		"figscale", "figscale-xl", "figchurn", "table1", "table2",
 		"replay-snapshot", "bursty-hubspoke", "ln-mainnet",
 		"jamming", "flash-crowd", "hub-outage",
+		"retry-jamming", "retry-flash-crowd", "retry-hub-outage",
 	}
 	for _, name := range want {
 		e, ok := Lookup(name)

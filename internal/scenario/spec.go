@@ -11,7 +11,9 @@
 // pipeline derives child rng streams in a fixed label order — Split(1) for
 // channel sizes, Split(2) for the topology generator, Split(3) for the
 // synthetic workload, Split(4) for the dynamics driver, Split(5) for the
-// attack injector (drawn only when an attack block is armed), Split(9) for
+// attack injector (drawn only when an attack block is armed), Split(6) for
+// the retry backoff jitter (drawn only when a routing.retry block is armed,
+// and always last, so arming retries shifts no earlier stream), Split(9) for
 // analytical hop sampling — matching the hand-wired experiment runners the
 // engine replaced, so registry output stays byte-identical to the historical
 // CSVs (pinned by the golden-fixture conformance test).
@@ -26,6 +28,7 @@ import (
 	"github.com/splicer-pcn/splicer/internal/attack"
 	"github.com/splicer-pcn/splicer/internal/channel"
 	"github.com/splicer-pcn/splicer/internal/pcn"
+	"github.com/splicer-pcn/splicer/internal/reliability"
 	"github.com/splicer-pcn/splicer/internal/routing"
 	"github.com/splicer-pcn/splicer/internal/workload"
 )
@@ -182,6 +185,43 @@ type RoutingSpec struct {
 	// (Lightning's max_accepted_htlcs — the resource HTLC jamming exhausts);
 	// 0 keeps the paper's unlimited setting.
 	MaxInFlightTUs int `json:"max_in_flight_tus,omitempty"`
+	// Retry arms the failure-aware retry layer (internal/reliability). Absent
+	// or unarmed, the cell is byte-identical to the retry-less simulator.
+	Retry *RetrySpec `json:"retry,omitempty"`
+}
+
+// RetrySpec mirrors reliability.Config with spec-idiomatic millisecond
+// durations. MaxAttempts must be >= 2 when the block is present (an armed
+// block that disables retries is almost certainly a typo); omit the block to
+// run without retries.
+type RetrySpec struct {
+	// MaxAttempts is the total send budget per TU, first attempt included.
+	MaxAttempts int `json:"max_attempts"`
+	// BackoffMs is the base re-send delay; attempt i waits i·backoff plus
+	// jitter (default 50).
+	BackoffMs float64 `json:"backoff_ms,omitempty"`
+	// HalfLifeMs is the penalty decay half-life (default 2000).
+	HalfLifeMs float64 `json:"half_life_ms,omitempty"`
+	// ExclusionMs is the hard-exclusion window after a failure (default 500).
+	ExclusionMs float64 `json:"exclusion_ms,omitempty"`
+	// PenaltyWeight inflates a penalized edge's unit cost (default 4).
+	PenaltyWeight float64 `json:"penalty_weight,omitempty"`
+}
+
+// config maps the retry block onto a reliability.Config (ms → seconds). The
+// jitter stream seed is a placeholder: the build pipeline replaces it with
+// the spec source's Split(6).
+func (r *RetrySpec) config() reliability.Config {
+	if r == nil {
+		return reliability.Config{}
+	}
+	return reliability.Config{
+		MaxAttempts:   r.MaxAttempts,
+		Backoff:       r.BackoffMs / 1000,
+		HalfLife:      r.HalfLifeMs / 1000,
+		Exclusion:     r.ExclusionMs / 1000,
+		PenaltyWeight: r.PenaltyWeight,
+	}
 }
 
 // normalize fills documented defaults into a copy of the spec.
@@ -316,6 +356,14 @@ func (s Spec) Validate() error {
 		s.Routing.PlacementOmega < 0 || s.Routing.MaxInFlightTUs < 0 {
 		return fmt.Errorf("scenario: routing overrides must be >= 0")
 	}
+	if r := s.Routing.Retry; r != nil {
+		if r.MaxAttempts < 2 {
+			return fmt.Errorf("scenario: routing.retry needs max_attempts >= 2 (got %d); omit the block to disable retries", r.MaxAttempts)
+		}
+		if err := r.config().Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	if _, err := routingOverrideByName(s.Routing.Override); err != nil {
 		return err
 	}
@@ -371,6 +419,9 @@ func (s Spec) config(scheme pcn.Scheme) (pcn.Config, error) {
 	cfg.RoutingOverride = ov
 	if r.MaxInFlightTUs > 0 {
 		cfg.MaxInFlightTUs = r.MaxInFlightTUs
+	}
+	if r.Retry != nil {
+		cfg.Retry = r.Retry.config()
 	}
 	return cfg, nil
 }

@@ -6,6 +6,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -19,6 +20,50 @@ type Point struct {
 type Series struct {
 	Name   string
 	Points []Point
+}
+
+// ReasonPoint is one x-axis sample of a variant's failure breakdown: the
+// across-seed mean failure count per abort reason at that x.
+type ReasonPoint struct {
+	X       float64
+	Reasons map[string]float64
+}
+
+// ReasonSeries is one variant's per-reason failure breakdown across the
+// panel's x values.
+type ReasonSeries struct {
+	Name   string
+	Points []ReasonPoint
+}
+
+// topReasons formats the up-to-three largest failure reasons of a point as
+// "reason=count" pairs joined with ";" (count desc, ties by name asc, %.1f —
+// counts are across-seed means). Deterministic for a fixed map content.
+func topReasons(reasons map[string]float64) string {
+	type rc struct {
+		name  string
+		count float64
+	}
+	list := make([]rc, 0, len(reasons))
+	for name, c := range reasons {
+		if c > 0 {
+			list = append(list, rc{name, c})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].count != list[j].count {
+			return list[i].count > list[j].count
+		}
+		return list[i].name < list[j].name
+	})
+	if len(list) > 3 {
+		list = list[:3]
+	}
+	parts := make([]string, len(list))
+	for i, r := range list {
+		parts[i] = fmt.Sprintf("%s=%.1f", r.name, r.count)
+	}
+	return strings.Join(parts, ";")
 }
 
 // Table is a rendered result table.
@@ -91,13 +136,20 @@ func AttackTable(title string, tsr, delay []Series) Table {
 // PanelTable renders a two-metric scheme panel over the named x-axis: one
 // row per x value, TSR and delay columns per variant. The column layout is
 // the golden-fixture churn-panel format, generalized over the axis label.
-func PanelTable(title, xLabel string, tsr, delay []Series) Table {
+// Optional reason series append one "<variant> fail_reasons" column each —
+// the variant's top failure reasons as "reason=count" pairs — so retry
+// recovery is attributable per cell; callers without them (the pre-existing
+// churn and attack panels) render the historical layout unchanged.
+func PanelTable(title, xLabel string, tsr, delay []Series, reasons ...ReasonSeries) Table {
 	t := Table{Title: title, Header: []string{xLabel}}
 	for _, s := range tsr {
 		t.Header = append(t.Header, s.Name+" TSR")
 	}
 	for _, s := range delay {
 		t.Header = append(t.Header, s.Name+" delay(s)")
+	}
+	for _, s := range reasons {
+		t.Header = append(t.Header, s.Name+" fail_reasons")
 	}
 	if len(tsr) == 0 {
 		return t
@@ -110,9 +162,23 @@ func PanelTable(title, xLabel string, tsr, delay []Series) Table {
 		for _, s := range delay {
 			row = append(row, fmt.Sprintf("%.4f", s.Points[i].Y))
 		}
+		for _, s := range reasons {
+			cell := ""
+			if i < len(s.Points) {
+				cell = topReasons(s.Points[i].Reasons)
+			}
+			row = append(row, cell)
+		}
 		t.Rows = append(t.Rows, row)
 	}
 	return t
+}
+
+// RetryTable renders the retry-resilience panel: one row per attack
+// intensity; TSR, delay and failure-breakdown columns per scheme×{off,on}
+// variant.
+func RetryTable(title string, tsr, delay []Series, reasons []ReasonSeries) Table {
+	return PanelTable(title, "attack_intensity", tsr, delay, reasons...)
 }
 
 // TradeoffTable renders Fig. 9(b) points.

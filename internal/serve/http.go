@@ -6,6 +6,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -58,13 +59,24 @@ func parseRouteRequest(r *http.Request) (RouteRequest, error) {
 	return req, nil
 }
 
+// requestContext applies the server's per-request deadline to an incoming
+// request's context (identity when RequestTimeout is 0).
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+}
+
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	req, err := parseRouteRequest(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.Route(r.Context(), req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, err := s.Route(ctx, req)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -89,7 +101,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.Route(r.Context(), req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, err := s.Route(ctx, req)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -98,12 +112,28 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type reliabilityStats struct {
+		Failures     int `json:"failures"`
+		Successes    int `json:"successes"`
+		ExcludedHits int `json:"excluded_hits"`
+	}
 	type statsResponse struct {
 		ServerStats
 		Nodes     int `json:"nodes"`
 		LiveEdges int `json:"live_edges"`
+		// Reliability is the wrapped network's failure-aware routing store
+		// activity (all-zero when the retry layer is unarmed).
+		Reliability reliabilityStats `json:"reliability"`
 	}
-	resp := statsResponse{ServerStats: s.Stats()}
+	rel := s.net.ReliabilityStats()
+	resp := statsResponse{
+		ServerStats: s.Stats(),
+		Reliability: reliabilityStats{
+			Failures:     rel.Failures,
+			Successes:    rel.Successes,
+			ExcludedHits: rel.ExcludedHits,
+		},
+	}
 	// Read topology shape from a pinned snapshot, never the live graph.
 	if snap := s.store.Acquire(); snap != nil {
 		resp.Nodes = snap.Graph().NumNodes()
@@ -124,8 +154,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
+// statusFor maps transient serving conditions — shutdown, a saturated pool,
+// no published snapshot yet, a request deadline — to 503 (retryable; the
+// error response carries Retry-After) and everything else to 400.
 func statusFor(err error) int {
-	if errors.Is(err, ErrShuttingDown) {
+	switch {
+	case errors.Is(err, ErrShuttingDown),
+		errors.Is(err, ErrSaturated),
+		errors.Is(err, ErrNoSnapshot),
+		errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
@@ -141,6 +178,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusServiceUnavailable {
+		// Transient overload/startup/shutdown: tell clients when to retry.
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

@@ -8,6 +8,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -37,8 +38,12 @@ type LoadGenConfig struct {
 
 // LoadStats is a load run's outcome.
 type LoadStats struct {
-	Requests      uint64  `json:"requests"`
-	Errors        uint64  `json:"errors"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// Saturated counts queries shed by a full worker queue (subset of
+	// Errors): nonzero means the pool degraded gracefully — load was refused
+	// with a retryable signal instead of queueing without bound.
+	Saturated     uint64  `json:"saturated"`
 	DurationSecs  float64 `json:"duration_secs"`
 	RoutesPerSec  float64 `json:"routes_per_sec"`
 	Clients       int     `json:"clients"`
@@ -74,7 +79,7 @@ func LoadGen(ctx context.Context, s *Server, cfg LoadGenConfig) LoadStats {
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
 
-	var requests, errs atomic.Uint64
+	var requests, errs, saturated atomic.Uint64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
@@ -95,6 +100,16 @@ func LoadGen(ctx context.Context, s *Server, cfg LoadGenConfig) LoadStats {
 						break // cancellation, not a serving error
 					}
 					errs.Add(1)
+					if errors.Is(err, ErrSaturated) {
+						// Overload shed: back off briefly like an HTTP client
+						// honoring Retry-After, instead of hot-spinning the
+						// admission path.
+						saturated.Add(1)
+						select {
+						case <-runCtx.Done():
+						case <-time.After(200 * time.Microsecond):
+						}
+					}
 					continue
 				}
 				requests.Add(1)
@@ -107,6 +122,7 @@ func LoadGen(ctx context.Context, s *Server, cfg LoadGenConfig) LoadStats {
 	st := LoadStats{
 		Requests:      requests.Load(),
 		Errors:        errs.Load(),
+		Saturated:     saturated.Load(),
 		DurationSecs:  elapsed,
 		Clients:       cfg.Clients,
 		ServerWorkers: len(s.workers),

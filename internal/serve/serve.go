@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/splicer-pcn/splicer/internal/graph"
 	"github.com/splicer-pcn/splicer/internal/pcn"
@@ -34,12 +35,30 @@ import (
 // (or were still queued when the drain deadline expired).
 var ErrShuttingDown = errors.New("serve: shutting down")
 
+// ErrSaturated is returned when the target worker's job queue is full: the
+// pool is overloaded and the caller should back off and retry (HTTP maps it
+// to 503 + Retry-After). Shedding at admission keeps queue wait bounded
+// instead of letting latency grow without limit under overload.
+var ErrSaturated = errors.New("serve: worker pool saturated")
+
+// ErrNoSnapshot is returned while the writer has not yet published an epoch
+// — the server is up but not ready (503 + Retry-After, like saturation).
+var ErrNoSnapshot = errors.New("serve: no snapshot published")
+
 // Options configures a Server.
 type Options struct {
 	// Workers is the query-pool size; <= 0 means 2.
 	Workers int
 	// QueueDepth is each worker's job-queue capacity; <= 0 means 64.
 	QueueDepth int
+	// RequestTimeout bounds each HTTP request's total time in the handler
+	// (parse + queue wait + compute); 0 means no per-request deadline. The
+	// programmatic Route API is bounded by the caller's context either way.
+	RequestTimeout time.Duration
+	// StallDelay injects a sleep before each job's compute — a worker-stall
+	// fault for graceful-degradation testing and benchmarks. 0 (production)
+	// injects nothing.
+	StallDelay time.Duration
 }
 
 // RouteRequest is one path query.
@@ -73,9 +92,11 @@ type RouteResponse struct {
 // counters, so operators see cache efficiency and epoch churn in one fetch.
 type ServerStats struct {
 	Workers   int                 `json:"workers"`
-	Served    uint64              `json:"served"` // queries answered (including unroutable)
-	Errors    uint64              `json:"errors"` // queries failing validation or computation
-	Shed      uint64              `json:"shed"`   // queries refused by shutdown
+	Served    uint64              `json:"served"`    // queries answered (including unroutable)
+	Errors    uint64              `json:"errors"`    // queries failing validation or computation
+	Shed      uint64              `json:"shed"`      // queries refused by shutdown
+	Saturated uint64              `json:"saturated"` // queries refused by a full worker queue
+	Timeouts  uint64              `json:"timeouts"`  // queries cut by a context deadline
 	CacheHits uint64              `json:"cache_hits"`
 	CacheMiss uint64              `json:"cache_misses"`
 	Epoch     uint64              `json:"epoch"`
@@ -128,9 +149,12 @@ type Server struct {
 
 	cache atomic.Pointer[epochCache]
 
-	served atomic.Uint64
-	errs   atomic.Uint64
-	shed   atomic.Uint64
+	opts      Options
+	served    atomic.Uint64
+	errs      atomic.Uint64
+	shed      atomic.Uint64
+	saturated atomic.Uint64
+	timeouts  atomic.Uint64
 }
 
 // NewServer wraps a network in a serving pool. The network's snapshot store
@@ -148,6 +172,7 @@ func NewServer(net *pcn.Network, opts Options) *Server {
 		net:   net,
 		store: net.EnableSnapshots(),
 		quit:  make(chan struct{}),
+		opts:  opts,
 	}
 	for i := 0; i < opts.Workers; i++ {
 		w := &worker{id: i, jobs: make(chan *job, opts.QueueDepth)}
@@ -180,13 +205,17 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (*RouteResponse, e
 
 	j := &job{req: req, resp: make(chan routeResult, 1)}
 	w := s.workers[s.next.Add(1)%uint64(len(s.workers))]
+	// Non-blocking admission: a full worker queue sheds the query instead of
+	// parking the caller behind unbounded queue wait — the caller gets an
+	// immediate, retryable overload signal (503 + Retry-After over HTTP).
 	select {
 	case w.jobs <- j:
-	case <-ctx.Done():
-		return nil, ctx.Err()
 	case <-s.quit:
 		s.shed.Add(1)
 		return nil, ErrShuttingDown
+	default:
+		s.saturated.Add(1)
+		return nil, ErrSaturated
 	}
 	select {
 	case r := <-j.resp:
@@ -195,6 +224,7 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (*RouteResponse, e
 		}
 		return r.resp, nil
 	case <-ctx.Done():
+		s.timeouts.Add(1)
 		return nil, ctx.Err()
 	}
 }
@@ -234,6 +264,8 @@ func (s *Server) Stats() ServerStats {
 		Served:    s.served.Load(),
 		Errors:    s.errs.Load(),
 		Shed:      s.shed.Load(),
+		Saturated: s.saturated.Load(),
+		Timeouts:  s.timeouts.Load(),
 		Epoch:     s.store.Epoch(),
 		Snapshots: s.store.Stats(),
 	}
@@ -251,6 +283,9 @@ func (s *Server) workerLoop(w *worker) {
 	for {
 		select {
 		case j := <-w.jobs:
+			if s.opts.StallDelay > 0 {
+				time.Sleep(s.opts.StallDelay)
+			}
 			j.resp <- s.handle(w, j.req)
 		case <-s.quit:
 			for {
@@ -270,7 +305,7 @@ func (s *Server) handle(w *worker, req RouteRequest) routeResult {
 	snap := s.store.Acquire()
 	if snap == nil {
 		s.errs.Add(1)
-		return routeResult{err: errors.New("serve: no snapshot published")}
+		return routeResult{err: ErrNoSnapshot}
 	}
 	defer snap.Release()
 	g := snap.Graph()

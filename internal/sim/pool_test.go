@@ -141,7 +141,7 @@ func (h refHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
 func (h *refHeap) Pop() interface{} {
 	old := *h

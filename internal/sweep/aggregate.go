@@ -76,6 +76,18 @@ type Summary struct {
 	CacheHitRate Stats
 	LabelServed  Stats
 	LabelRepairs Stats
+
+	// Failure-aware retry activity (zero-N Stats unless retries were armed).
+	RetryAttempts  Stats
+	RetryRecovered Stats
+	RetryExhausted Stats
+
+	// FailureReasons breaks the group's failures down by abort reason: mean
+	// counts per seed keyed by reason (e.g. "no_funds", "deadline",
+	// "no_flow"). A seed that never recorded a reason contributes a zero
+	// sample for it, so means stay comparable across groups. Nil when no cell
+	// in the group recorded any attributed failure.
+	FailureReasons map[string]Stats
 }
 
 type groupKey struct {
@@ -94,6 +106,11 @@ func Aggregate(results []CellResult) []Summary {
 		key     groupKey
 		failed  int
 		samples map[string][]float64
+		// reasons holds per-reason failure counts, one sample per successful
+		// cell. Samples are appended under an "n" cursor so cells that never
+		// saw a reason pad it with zeros (see the padding pass below).
+		reasons map[string][]float64
+		n       int // successful cells folded so far
 	}
 	order := []groupKey{}
 	groups := map[groupKey]*group{}
@@ -122,6 +139,28 @@ func Aggregate(results []CellResult) []Summary {
 		g.samples["cache_hit"] = append(g.samples["cache_hit"], hitRate)
 		g.samples["label_served"] = append(g.samples["label_served"], float64(r.Result.LabelServed))
 		g.samples["label_repairs"] = append(g.samples["label_repairs"], float64(r.Result.LabelRepairs))
+		g.samples["retry_attempts"] = append(g.samples["retry_attempts"], float64(r.Result.RetryAttempts))
+		g.samples["retry_recovered"] = append(g.samples["retry_recovered"], float64(r.Result.RetryRecovered))
+		g.samples["retry_exhausted"] = append(g.samples["retry_exhausted"], float64(r.Result.RetryExhausted))
+		// Per-reason counts: pad every known reason up to this cell's index
+		// before appending, so a reason first seen at cell i carries i zero
+		// samples for the earlier cells (means stay per-seed comparable, and
+		// the fold is order-stable for a fixed result order).
+		for reason, c := range r.Result.FailureReasons {
+			if g.reasons == nil {
+				g.reasons = map[string][]float64{}
+			}
+			for len(g.reasons[reason]) < g.n {
+				g.reasons[reason] = append(g.reasons[reason], 0)
+			}
+			g.reasons[reason] = append(g.reasons[reason], float64(c))
+		}
+		g.n++
+		for reason := range g.reasons {
+			for len(g.reasons[reason]) < g.n {
+				g.reasons[reason] = append(g.reasons[reason], 0)
+			}
+		}
 	}
 	out := make([]Summary, 0, len(order))
 	for _, k := range order {
@@ -142,7 +181,23 @@ func Aggregate(results []CellResult) []Summary {
 			CacheHitRate:   newStats(g.samples["cache_hit"]),
 			LabelServed:    newStats(g.samples["label_served"]),
 			LabelRepairs:   newStats(g.samples["label_repairs"]),
+			RetryAttempts:  newStats(g.samples["retry_attempts"]),
+			RetryRecovered: newStats(g.samples["retry_recovered"]),
+			RetryExhausted: newStats(g.samples["retry_exhausted"]),
+			FailureReasons: reasonStats(g.reasons),
 		})
+	}
+	return out
+}
+
+// reasonStats summarizes the per-reason count samples (nil in, nil out).
+func reasonStats(reasons map[string][]float64) map[string]Stats {
+	if len(reasons) == 0 {
+		return nil
+	}
+	out := make(map[string]Stats, len(reasons))
+	for reason, samples := range reasons {
+		out[reason] = newStats(samples)
 	}
 	return out
 }
