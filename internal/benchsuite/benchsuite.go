@@ -79,7 +79,10 @@ func Suite(short bool) []Benchmark {
 		{Name: "reliability/store_observe", Core: true, F: benchStoreObserve},
 		{Name: "reliability/penalty_overlay_sp_2000", Core: true, F: benchPenaltyOverlaySP},
 		{Name: "figures/fig8d_throughput_large", Core: false, F: figBench(short)},
+		{Name: "figures/fig8d_throughput_large_w1", Core: false, F: figSpeculationBench(short, 1)},
+		{Name: "figures/fig8d_throughput_large_w4", Core: false, F: figSpeculationBench(short, 4)},
 		{Name: "figures/figscale_100k", Core: false, F: figscale100kBench(short)},
+		{Name: "figures/figscale_100k_w4", Core: false, F: figscale100kParallelBench(short)},
 	}
 }
 
@@ -363,14 +366,63 @@ func figBench(short bool) func(b *testing.B) {
 	}
 }
 
+// figSpeculationBench is the intra-run parallelism scaling pair: the same
+// large scenario and τ point as fig8d_throughput_large, run through the
+// declarative engine so the spec can carry routing.parallelism. w1 is the
+// serial baseline (the pool arms at >= 2 workers); wN runs N speculative
+// route planners. Outputs are byte-identical across the pair by the golden
+// conformance contract — the entries exist to track the wall-clock ratio
+// next to the host's num_cpu field in the report (a 1-CPU host pins the
+// ratio near 1x: speculation needs spare cores to run ahead of the
+// committer).
+func figSpeculationBench(short bool, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		spec := scenario.LargeSpec()
+		spec.Workload.Duration = 2
+		spec.Workload.Rate = 150
+		if short {
+			spec.Workload.Duration = 1
+			spec.Workload.Rate = 60
+		}
+		spec.Routing.UpdateTauMs = 400
+		spec.Routing.Parallelism = workers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			table, err := scenario.SchemeTable(spec, []string{"Splicer"}, scenario.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if table.CSV() == "" {
+				b.Fatal("empty table")
+			}
+		}
+	}
+}
+
 // figscale100kBench runs the XL scale series' largest cell end-to-end: the
 // 100k-node scale-free graph under the hub-labels routing override, one
 // scheme. Node count stays at 100k in short mode (the point is the scale);
 // short trims only the workload.
 func figscale100kBench(short bool) func(b *testing.B) {
+	return figscale100k(short, 0)
+}
+
+// figscale100kParallelBench is the honest negative control for the scaling
+// pair: the 100k cell requests 4 speculation workers, but its hub-labels
+// routing override keeps the pool disarmed (lazy label-tree builds mutate
+// shared state, so that policy is not speculation-safe). The tracked ratio
+// against figscale_100k is therefore ~1x by design, recorded so the report
+// distinguishes "gated off" from "failed to scale".
+func figscale100kParallelBench(short bool) func(b *testing.B) {
+	return figscale100k(short, 4)
+}
+
+func figscale100k(short bool, parallelism int) func(b *testing.B) {
 	return func(b *testing.B) {
 		spec := scenario.XLScaleSpec()
 		spec.Topology.Nodes = 100000
+		spec.Routing.Parallelism = parallelism
 		if short {
 			spec.Workload.Rate = 30
 			spec.Workload.Duration = 1

@@ -91,6 +91,15 @@ type Graph struct {
 // Mutations returns the adjacency mutation counter.
 func (g *Graph) Mutations() uint64 { return g.mutations }
 
+// EnsureCSR forces the lazy packed-adjacency build now. Path queries trigger
+// the build implicitly on first use; callers about to share the graph with
+// concurrent readers (speculative planning workers, each holding a private
+// PathFinder over this graph) call this from the owning goroutine first so
+// no reader races the one-time construction. After the build the CSR is
+// maintained in place by the mutators, which such callers must serialize
+// against readers themselves (see pcn's speculation quiesce contract).
+func (g *Graph) EnsureCSR() { g.csrEnsure() }
+
 // CapMutations returns the combined adjacency+capacity mutation counter.
 func (g *Graph) CapMutations() uint64 { return g.mutations + g.capMutations }
 

@@ -3,6 +3,13 @@
 // node arrivals/departures, and online hub re-placement. Every mutation of
 // the routed topology ends in InvalidateRoutes, extending the RouteCache
 // invalidation contract to dynamic mutations.
+//
+// Every mutator additionally brackets itself with pauseSpeculation/
+// resumeSpeculation (a nil check when no speculative planning pool is
+// armed): the pool's workers read the graph, the hub maps and the route
+// caches concurrently, so mutations must quiesce in-flight plans first (see
+// speculate.go). The pairs nest, covering DepartNode→CloseChannel and
+// RePlaceHubs→ReshapeMultiStar/CapitalizeHubs.
 
 package pcn
 
@@ -23,6 +30,8 @@ func (n *Network) OpenChannel(u, v graph.NodeID, fundU, fundV float64) (graph.Ed
 	if fundU < 0 || fundV < 0 {
 		return 0, fmt.Errorf("pcn: open %d-%d: negative funding", u, v)
 	}
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	eid, err := n.g.AddEdge(u, v, fundU, fundV)
 	if err != nil {
 		return 0, err
@@ -55,6 +64,8 @@ func (n *Network) CloseChannel(id graph.EdgeID) error {
 	if ch.Closed() {
 		return fmt.Errorf("pcn: channel %d already closed", id)
 	}
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	if err := n.g.RemoveEdge(id); err != nil {
 		return err
 	}
@@ -88,6 +99,8 @@ func (n *Network) TopUpChannel(id graph.EdgeID, addU, addV float64) error {
 	if ch.Closed() {
 		return fmt.Errorf("pcn: top-up on closed channel %d", id)
 	}
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	if err := ch.Deposit(channel.Fwd, addU); err != nil {
 		return err
 	}
@@ -114,6 +127,8 @@ func (n *Network) RebalanceChannel(id graph.EdgeID, fraction float64) float64 {
 		return 0
 	}
 	ch := n.chans[id]
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	moved := ch.Rebalance(fraction)
 	if moved > 0 {
 		n.drainQueue(ch, channel.Fwd)
@@ -126,6 +141,8 @@ func (n *Network) RebalanceChannel(id graph.EdgeID, fraction float64) float64 {
 // opens its channels via OpenChannel; the node participates in placement
 // and demand once connected. Shared PathFinder scratch state grows lazily.
 func (n *Network) JoinNode() graph.NodeID {
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	return n.g.AddNode()
 }
 
@@ -142,6 +159,8 @@ func (n *Network) DepartNode(v graph.NodeID) error {
 	if n.departed[v] {
 		return fmt.Errorf("pcn: node %d already departed", v)
 	}
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	n.departed[v] = true
 	// CloseChannel mutates adjacency; snapshot the incident list first.
 	for _, eid := range append([]graph.EdgeID(nil), n.g.Incident(v)...) {
@@ -175,6 +194,8 @@ func (n *Network) RejoinNode(v graph.NodeID) error {
 	if !n.departed[v] {
 		return fmt.Errorf("pcn: node %d has not departed", v)
 	}
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	delete(n.departed, v)
 	return nil
 }
@@ -190,6 +211,8 @@ func (n *Network) Departed(v graph.NodeID) bool { return n.departed[v] }
 // pledge and are not boosted twice). This is what turns Splicer's placement
 // from a preprocessing step into an online algorithm.
 func (n *Network) RePlaceHubs() error {
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	hubs, err := n.placeHubs()
 	if err != nil {
 		return err

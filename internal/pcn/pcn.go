@@ -165,6 +165,14 @@ type Config struct {
 	// FlashMicePaths is the number of precomputed mice paths.
 	FlashMicePaths int
 
+	// Parallelism sets the speculative route-planning worker count for a
+	// single run (see speculate.go). 0 or 1 runs fully serial (default); a
+	// value >= 2 arms a pool of that many planning workers when the policy
+	// is speculation-safe and routing is exact. The committed event stream
+	// and every output are byte-identical either way — this is purely a
+	// wall-clock knob for big single cells.
+	Parallelism int
+
 	// Retry arms the failure-aware retry layer (internal/reliability):
 	// per-edge penalty learning with time decay, hard exclusion of recently
 	// failed hops, and bounded per-TU re-sends within the payment deadline.
@@ -230,6 +238,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxInFlightTUs < 0 {
 		return fmt.Errorf("pcn: MaxInFlightTUs must be >= 0, got %d", c.MaxInFlightTUs)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("pcn: Parallelism must be >= 0, got %d", c.Parallelism)
 	}
 	if err := c.Retry.Validate(); err != nil {
 		return err
@@ -332,6 +343,13 @@ type Network struct {
 	// Config.Retry is armed, so the unarmed lifecycle pays one nil check.
 	relStore *reliability.Store
 	retryRng *rng.Source
+
+	// Speculative route-planning state (see speculate.go). spec is the
+	// per-run worker pool, nil unless Config.Parallelism arms it; specCtx is
+	// non-nil only on a worker's shadow copy of the network, binding
+	// planRoutes to that worker's memoizing context.
+	spec    *specSession
+	specCtx *specWorkerCtx
 }
 
 // NewNetwork builds a simulation over graph g under cfg. The graph's edge
@@ -390,6 +408,9 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 	if err := n.policy.Setup(n); err != nil {
 		return nil, err
 	}
+	if speculationArmed(cfg, n.policy) {
+		n.spec = newSpecSession(n, cfg.Parallelism)
+	}
 	return n, nil
 }
 
@@ -422,6 +443,8 @@ func (n *Network) SetManagingHub(client, hub graph.NodeID) {
 // owns the graph, so adding edges here is safe. Safe to call again mid-run
 // after a re-placement: only the missing client-hub channels open.
 func (n *Network) ReshapeMultiStar() {
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	for v := 0; v < n.g.NumNodes(); v++ {
 		client := graph.NodeID(v)
 		if n.isHub[client] || n.departed[client] {
@@ -474,6 +497,8 @@ func (n *Network) CapitalizeHubs() {
 	if n.cfg.HubCapitalBoost <= 1 {
 		return
 	}
+	n.pauseSpeculation()
+	defer n.resumeSpeculation()
 	for _, h := range n.hubs {
 		for _, eid := range n.g.Incident(h) {
 			if n.boosted[eid] {
@@ -695,6 +720,9 @@ func (n *Network) kShortestPathsUnit(from, to graph.NodeID, k int) []graph.Path 
 func (n *Network) InvalidateRoutes() {
 	n.routes.Invalidate()
 	clear(n.pathsFor)
+	if n.spec != nil {
+		n.spec.invalidate()
+	}
 	n.publishSnapshot()
 }
 
@@ -815,6 +843,9 @@ func (n *Network) BeginRun(horizon float64) error {
 // payments toward the separate adversarial totals).
 func (n *Network) ScheduleArrival(tx workload.Tx) error {
 	n.countGenerated(tx)
+	if n.spec != nil {
+		n.spec.enqueue(tx)
+	}
 	_, err := n.engine.Schedule(tx.Arrival, 1, func() { n.onArrival(tx) })
 	return err
 }
@@ -824,6 +855,9 @@ func (n *Network) ScheduleArrival(tx workload.Tx) error {
 // at the moment of arrival rather than at trace-generation time.
 func (n *Network) Arrive(tx workload.Tx) {
 	n.countGenerated(tx)
+	if n.spec != nil {
+		n.spec.enqueue(tx)
+	}
 	n.onArrival(tx)
 }
 
@@ -860,6 +894,9 @@ func (n *Network) Every(interval, until float64, action func()) error {
 // outcome event; they are failures.
 func (n *Network) Execute(horizon float64) (Result, error) {
 	n.engine.Run(horizon)
+	if n.spec != nil {
+		n.spec.stop() // no planning goroutines survive past the run
+	}
 	// Dynamically driven runs deliver payments via Arrive during the run, so
 	// emptiness is only checkable afterwards.
 	if n.genCount == 0 {

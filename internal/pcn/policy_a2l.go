@@ -58,7 +58,7 @@ func (a2lPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, e
 	}
 	hub := n.hubs[0]
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: 1}
-	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+	paths, err := n.planRoutes(key, func() ([]graph.Path, error) {
 		// Unit-weight queries (UnitShortestPath is bit-identical to
 		// ShortestPath with UnitWeight), so the hub→recipient leg is served
 		// from the label tier when the override is on.
@@ -83,3 +83,8 @@ func (a2lPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, e
 	}
 	return paths, []Allocation{{PathIdx: 0, Value: tx.Value}}, nil
 }
+
+// SpeculationSafe marks Plan as a pure function of the routed topology
+// (static capacities, hub assignments, config, endpoints), so it may run
+// speculatively on a planning worker (see SpeculativePlanner).
+func (p *a2lPolicy) SpeculationSafe() bool { return true }

@@ -26,7 +26,7 @@ func (p *landmarkPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Alloc
 	// Landmark routes are capacity-independent, so repeat pairs hit the
 	// shared route cache instead of recomputing the per-landmark detours.
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: n.cfg.NumPaths}
-	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+	paths, err := n.planRoutes(key, func() ([]graph.Path, error) {
 		// One multi-target Dijkstra from the sender covers every
 		// sender-side detour head (and the direct path for a landmark that
 		// is itself an endpoint); only the landmark→recipient tails need
@@ -73,3 +73,8 @@ func (p *landmarkPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Alloc
 	}
 	return paths, allocs, nil
 }
+
+// SpeculationSafe marks Plan as a pure function of the routed topology
+// (static capacities, hub assignments, config, endpoints), so it may run
+// speculatively on a planning worker (see SpeculativePlanner).
+func (p *landmarkPolicy) SpeculationSafe() bool { return true }

@@ -12,7 +12,7 @@ type shortestPathPolicy struct{ basePolicy }
 
 func (shortestPathPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: routing.KSP, K: 1}
-	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+	paths, err := n.planRoutes(key, func() ([]graph.Path, error) {
 		p, ok := n.unitShortestPath(tx.Sender, tx.Recipient)
 		if !ok {
 			return nil, nil
@@ -27,3 +27,8 @@ func (shortestPathPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allo
 	}
 	return paths, []Allocation{{PathIdx: 0, Value: tx.Value}}, nil
 }
+
+// SpeculationSafe marks Plan as a pure function of the routed topology
+// (static capacities, hub assignments, config, endpoints), so it may run
+// speculatively on a planning worker (see SpeculativePlanner).
+func (p *shortestPathPolicy) SpeculationSafe() bool { return true }

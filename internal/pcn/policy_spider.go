@@ -17,7 +17,7 @@ func (spiderPolicy) SplitsTUs() bool  { return true }
 
 func (spiderPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: routing.EDW, K: n.cfg.NumPaths}
-	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+	paths, err := n.planRoutes(key, func() ([]graph.Path, error) {
 		return routing.SelectPathsWith(n.PathFinder(), tx.Sender, tx.Recipient, n.cfg.NumPaths, routing.EDW)
 	})
 	if err != nil {
@@ -32,3 +32,8 @@ func (spiderPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation
 	}
 	return paths, allocs, nil
 }
+
+// SpeculationSafe marks Plan as a pure function of the routed topology
+// (static capacities, hub assignments, config, endpoints), so it may run
+// speculatively on a planning worker (see SpeculativePlanner).
+func (p *spiderPolicy) SpeculationSafe() bool { return true }

@@ -53,7 +53,7 @@ func (splicerPolicy) ComputeOwner(n *Network, tx workload.Tx) (graph.NodeID, flo
 func (splicerPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocation, error) {
 	cfg := n.cfg
 	key := RouteKey{Src: tx.Sender, Dst: tx.Recipient, Type: ComposedRoutes, K: cfg.NumPaths}
-	paths, err := n.Routes().GetOrCompute(key, func() ([]graph.Path, error) {
+	paths, err := n.planRoutes(key, func() ([]graph.Path, error) {
 		hubS := n.managingHub(tx.Sender)
 		hubR := n.managingHub(tx.Recipient)
 		if hubS == hubR {
@@ -65,7 +65,7 @@ func (splicerPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocatio
 		// managed by (hubS, hubR) — including payments between the hubs
 		// themselves — so it is cached once under its own key.
 		transit := func() ([]graph.Path, error) {
-			return n.Routes().GetOrCompute(RouteKey{Src: hubS, Dst: hubR, Type: cfg.PathType, K: cfg.NumPaths}, func() ([]graph.Path, error) {
+			return n.planRoutes(RouteKey{Src: hubS, Dst: hubR, Type: cfg.PathType, K: cfg.NumPaths}, func() ([]graph.Path, error) {
 				return routing.SelectPathsWith(n.PathFinder(), hubS, hubR, cfg.NumPaths, cfg.PathType)
 			})
 		}
@@ -99,3 +99,8 @@ func (splicerPolicy) Plan(n *Network, tx workload.Tx) ([]graph.Path, []Allocatio
 	}
 	return paths, allocs, nil
 }
+
+// SpeculationSafe marks Plan as a pure function of the routed topology
+// (static capacities, hub assignments, config, endpoints), so it may run
+// speculatively on a planning worker (see SpeculativePlanner).
+func (p *splicerPolicy) SpeculationSafe() bool { return true }

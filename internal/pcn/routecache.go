@@ -101,6 +101,18 @@ func (c *RouteCache) Get(key RouteKey) ([]graph.Path, bool) {
 	return paths, ok
 }
 
+// Peek returns the cached path set for key without touching the hit/miss
+// counters. Speculative planning workers use it to read the live cache as
+// warm-up input: the counters must record only the serial committer's
+// arithmetic so a parallel run reports byte-identical cache statistics.
+func (c *RouteCache) Peek(key RouteKey) ([]graph.Path, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	paths, ok := s.entries[key]
+	s.mu.RUnlock()
+	return paths, ok
+}
+
 // Put stores a path set. Storing nil/empty records the pair as unroutable so
 // repeat payments skip the (futile) computation.
 func (c *RouteCache) Put(key RouteKey, paths []graph.Path) {

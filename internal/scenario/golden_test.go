@@ -38,6 +38,26 @@ func goldenPath(name string) string {
 }
 
 func TestGoldenConformance(t *testing.T) {
+	runGoldenConformance(t, false)
+}
+
+// TestGoldenConformanceParallel re-runs the pinned entries with speculative
+// route planning forced to 4 workers in every cell. The fixtures are the
+// SAME files as the serial suite: this is the tentpole's byte-identity
+// proof at the panel level — event stream, metrics and CSV formatting all
+// unmoved by intra-run parallelism, across the static, churn, table,
+// attack and retry pipelines. -update-golden is refused here by
+// construction (fixtures are regenerated serially only).
+func TestGoldenConformanceParallel(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden fixtures regenerate from serial runs; skipping parallel twin under -update-golden")
+	}
+	restore := ForceParallelism(4)
+	defer restore()
+	runGoldenConformance(t, true)
+}
+
+func runGoldenConformance(t *testing.T, parallel bool) {
 	for _, name := range goldenEntries {
 		name := name
 		t.Run(name, func(t *testing.T) {
@@ -54,7 +74,7 @@ func TestGoldenConformance(t *testing.T) {
 			}
 			got := []byte(table.CSV())
 			path := goldenPath(name)
-			if *updateGolden {
+			if *updateGolden && !parallel {
 				if err := os.WriteFile(path, got, 0o644); err != nil {
 					t.Fatal(err)
 				}
@@ -65,10 +85,14 @@ func TestGoldenConformance(t *testing.T) {
 				t.Fatal(err)
 			}
 			if string(got) != string(want) {
-				diffPath := filepath.Join(t.TempDir(), name+".got.csv")
+				suffix := ".got.csv"
+				if parallel {
+					suffix = ".got-parallel.csv"
+				}
+				diffPath := filepath.Join(t.TempDir(), name+suffix)
 				if env := os.Getenv("GOLDEN_DIFF_DIR"); env != "" {
 					if err := os.MkdirAll(env, 0o755); err == nil {
-						diffPath = filepath.Join(env, name+".got.csv")
+						diffPath = filepath.Join(env, name+suffix)
 					}
 				}
 				if err := os.WriteFile(diffPath, got, 0o644); err != nil {

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/splicer-pcn/splicer/internal/pcn"
+)
+
+// TestRetryNeverResurrectsAdversarialTUs pins the retry/attack interaction
+// audit: a resurrected TU keeps its id and rate-controller slot, so
+// retrying attacker traffic would amplify the jam and leak attacker
+// failures into the honest breakdown. The lifecycle guards this three ways
+// — maybeRetryTU refuses adversarial TUs outright, refuses held (Hold > 0)
+// TUs, and the hold-release abort reason ("held_released") is not
+// retryable — and this test pins the observable consequence: arming
+// routing.retry inside the jamming panel moves no adversarial accounting.
+//
+// The direct-commit scheme (no channel queues) aborts starved honest TUs
+// with retryable "no_funds", so its armed run must show live retry
+// machinery; the queue-based Splicer scheme parks starved TUs and cancels
+// them as "marked" (deliberately non-retryable — the sender already gave
+// up), so zero retries there is itself pinned behavior.
+func TestRetryNeverResurrectsAdversarialTUs(t *testing.T) {
+	for _, tc := range []struct {
+		scheme         pcn.Scheme
+		requireRetries bool
+	}{
+		{pcn.SchemeShortestPath, true},
+		{pcn.SchemeSplicer, false},
+	} {
+		base := trimmedAttack(t, "jamming")
+		base.Attack.Intensity = 25
+		// Inflate payment values against the channel-size distribution so
+		// honest traffic hits balance exhaustion alongside the jam: the
+		// armed run then exercises retries against held channels.
+		base.Workload.ValueScale = 6
+		off, err := base.RunScheme(tc.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.AdversarialGenerated == 0 || off.HeldTUs == 0 {
+			t.Fatalf("%v: jamming cell generated no adversarial pressure: %+v", tc.scheme, off)
+		}
+
+		armed := base
+		armed.Routing.Retry = DefaultRetrySpec()
+		on, err := armed.RunScheme(tc.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on.AdversarialGenerated != off.AdversarialGenerated {
+			t.Errorf("%v: AdversarialGenerated moved when retries armed: %d -> %d",
+				tc.scheme, off.AdversarialGenerated, on.AdversarialGenerated)
+		}
+		if on.AdversarialCompleted != off.AdversarialCompleted {
+			t.Errorf("%v: AdversarialCompleted moved when retries armed: %d -> %d",
+				tc.scheme, off.AdversarialCompleted, on.AdversarialCompleted)
+		}
+		if on.HeldTUs != off.HeldTUs || on.HeldLockValue != off.HeldLockValue {
+			t.Errorf("%v: held-TU accounting moved when retries armed: %d/%.3f -> %d/%.3f",
+				tc.scheme, off.HeldTUs, off.HeldLockValue, on.HeldTUs, on.HeldLockValue)
+		}
+		// Hold releases unwind via abortTU("held_released"); if one ever
+		// leaked into the retry loop it would show up as extra attempts AND
+		// extra adversarial completions. FailureReasons pins the unwind
+		// channel stayed put.
+		if on.FailureReasons["held_released"] != off.FailureReasons["held_released"] {
+			t.Errorf("%v: held_released count moved when retries armed: %d -> %d",
+				tc.scheme, off.FailureReasons["held_released"], on.FailureReasons["held_released"])
+		}
+		if tc.requireRetries && on.RetryAttempts == 0 {
+			t.Errorf("%v: retry machinery never fired — the pin is vacuous; tighten the cell", tc.scheme)
+		}
+		if !tc.requireRetries && on.RetryAttempts == 0 {
+			t.Logf("%v: queue-based scheme converts starvation to non-retryable marked aborts (expected)", tc.scheme)
+		}
+	}
+}

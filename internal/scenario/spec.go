@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 
 	"github.com/splicer-pcn/splicer/internal/attack"
 	"github.com/splicer-pcn/splicer/internal/channel"
@@ -185,6 +186,11 @@ type RoutingSpec struct {
 	// (Lightning's max_accepted_htlcs — the resource HTLC jamming exhausts);
 	// 0 keeps the paper's unlimited setting.
 	MaxInFlightTUs int `json:"max_in_flight_tus,omitempty"`
+	// Parallelism arms speculative route-planning workers inside each cell
+	// (pcn.Config.Parallelism): >= 2 runs that many planning workers over a
+	// shared topology, with outputs byte-identical to serial. 0 (default)
+	// keeps every cell single-threaded, so all golden panels are untouched.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Retry arms the failure-aware retry layer (internal/reliability). Absent
 	// or unarmed, the cell is byte-identical to the retry-less simulator.
 	Retry *RetrySpec `json:"retry,omitempty"`
@@ -353,7 +359,7 @@ func (s Spec) Validate() error {
 		}
 	}
 	if s.Routing.NumPaths < 0 || s.Routing.UpdateTauMs < 0 || s.Routing.HubCandidates < 0 ||
-		s.Routing.PlacementOmega < 0 || s.Routing.MaxInFlightTUs < 0 {
+		s.Routing.PlacementOmega < 0 || s.Routing.MaxInFlightTUs < 0 || s.Routing.Parallelism < 0 {
 		return fmt.Errorf("scenario: routing overrides must be >= 0")
 	}
 	if r := s.Routing.Retry; r != nil {
@@ -423,7 +429,39 @@ func (s Spec) config(scheme pcn.Scheme) (pcn.Config, error) {
 	if r.Retry != nil {
 		cfg.Retry = r.Retry.config()
 	}
+	cfg.Parallelism = r.Parallelism
+	if fp := forcedParallelism(); fp > cfg.Parallelism {
+		// Conformance override: run every cell with fp planning workers.
+		// Byte-identity makes this safe for any spec; the golden suite uses
+		// it to pin parallel == serial across all panels.
+		cfg.Parallelism = fp
+	}
 	return cfg, nil
+}
+
+// forceParallelismVar is the process-wide parallelism floor applied to every
+// cell config. Seeded from SPLICER_FORCE_PARALLELISM so CI can sweep the
+// whole suite in parallel mode without touching specs; tests override it via
+// ForceParallelism.
+var forceParallelismVar = envForcedParallelism()
+
+func envForcedParallelism() int {
+	n, err := strconv.Atoi(os.Getenv("SPLICER_FORCE_PARALLELISM"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+func forcedParallelism() int { return forceParallelismVar }
+
+// ForceParallelism overrides the process-wide parallelism floor (the
+// SPLICER_FORCE_PARALLELISM knob) and returns a restore func. Test-only by
+// convention; not safe for concurrent use with cell builds.
+func ForceParallelism(workers int) (restore func()) {
+	prev := forceParallelismVar
+	forceParallelismVar = workers
+	return func() { forceParallelismVar = prev }
 }
 
 // attackConfig maps the spec's attack block onto an attack.Config. The

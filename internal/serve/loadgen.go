@@ -50,6 +50,25 @@ type LoadStats struct {
 	ServerWorkers int     `json:"server_workers"`
 }
 
+// drawEndpoints picks one query's endpoints: the source is a hub with
+// probability hubFraction (when hubs exist) and uniform otherwise, the
+// destination uniform over the node range excluding the source. Self-routes
+// are trivially answerable (0-hop), so drawing dst without excluding src
+// padded routes_per_sec with ~1/nodes no-op queries — on the tiny graphs of
+// tests, far worse. Callers guarantee nodes >= 2, so the redraw terminates.
+func drawEndpoints(rng *rand.Rand, nodes int, hubs []graph.NodeID, hubFraction float64) (src, dst graph.NodeID) {
+	if len(hubs) > 0 && rng.Float64() < hubFraction {
+		src = hubs[rng.Intn(len(hubs))]
+	} else {
+		src = graph.NodeID(rng.Intn(nodes))
+	}
+	dst = graph.NodeID(rng.Intn(nodes))
+	for dst == src {
+		dst = graph.NodeID(rng.Intn(nodes))
+	}
+	return src, dst
+}
+
 // LoadGen drives the server with random route queries from cfg.Clients
 // goroutines for cfg.Duration (or until ctx cancels) and reports sustained
 // throughput. Endpoints are drawn from the CURRENT snapshot's node range at
@@ -88,13 +107,7 @@ func LoadGen(ctx context.Context, s *Server, cfg LoadGenConfig) LoadStats {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for runCtx.Err() == nil {
-				var src graph.NodeID
-				if len(hubs) > 0 && rng.Float64() < cfg.HubFraction {
-					src = hubs[rng.Intn(len(hubs))]
-				} else {
-					src = graph.NodeID(rng.Intn(nodes))
-				}
-				dst := graph.NodeID(rng.Intn(nodes))
+				src, dst := drawEndpoints(rng, nodes, hubs, cfg.HubFraction)
 				if _, err := s.Route(runCtx, RouteRequest{Src: src, Dst: dst, K: cfg.K}); err != nil {
 					if runCtx.Err() != nil {
 						break // cancellation, not a serving error

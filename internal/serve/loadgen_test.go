@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/splicer-pcn/splicer/internal/graph"
+	"github.com/splicer-pcn/splicer/internal/pcn"
+)
+
+// TestDrawEndpointsNeverSelfRoutes pins the loadgen dst-draw fix: dst must
+// exclude src. On a 2-node range the historical uniform draw self-routed
+// with probability 1/2 per query, so 500 draws catch a regression with
+// overwhelming certainty; the hub-rooted branch gets the same treatment
+// with the hub as the forced source.
+func TestDrawEndpointsNeverSelfRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		src, dst := drawEndpoints(rng, 2, nil, 0)
+		if src == dst {
+			t.Fatalf("draw %d: self-route %d->%d", i, src, dst)
+		}
+	}
+	hubs := []graph.NodeID{1}
+	for i := 0; i < 500; i++ {
+		src, dst := drawEndpoints(rng, 2, hubs, 1.0)
+		if src != 1 {
+			t.Fatalf("draw %d: hub fraction 1.0 drew non-hub source %d", i, src)
+		}
+		if src == dst {
+			t.Fatalf("draw %d: self-route %d->%d", i, src, dst)
+		}
+	}
+	// Larger range: the exclusion must hold without skewing termination.
+	for i := 0; i < 500; i++ {
+		if src, dst := drawEndpoints(rng, 5, nil, 0); src == dst {
+			t.Fatalf("draw %d: self-route %d->%d", i, src, dst)
+		}
+	}
+}
+
+// TestLoadGenTinyGraph runs the generator end-to-end on the smallest
+// network the simulator admits (3 nodes): with self-routes excluded every
+// query exercises a real path computation and none error.
+func TestLoadGenTinyGraph(t *testing.T) {
+	g := graph.New(3)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}} {
+		if _, err := g.AddEdge(e[0], e[1], 100, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := pcn.NewConfig(pcn.SchemeShortestPath)
+	n, err := pcn.NewNetwork(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(n, Options{Workers: 1})
+	defer s.Shutdown(context.Background())
+	st := LoadGen(context.Background(), s, LoadGenConfig{
+		Clients:  1,
+		Duration: 50 * time.Millisecond,
+		Seed:     3,
+	})
+	if st.Requests == 0 {
+		t.Fatalf("loadgen produced no throughput on the tiny graph: %+v", st)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("loadgen errors on a static tiny graph: %+v", st)
+	}
+}

@@ -12,6 +12,7 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"github.com/splicer-pcn/splicer/internal/graph"
@@ -40,6 +41,13 @@ type Cell struct {
 	// network through a dynamics.Driver instead of a pre-generated trace.
 	// Like Build, it must not share mutable state with other cells.
 	Run func() (pcn.Result, error)
+	// Parallelism overrides the built config's speculative route-planning
+	// worker count (pcn.Config.Parallelism) for Build-path cells; 0 keeps
+	// whatever Build returned. Run-hook cells own their full pipeline and
+	// carry the knob in their spec instead. Outputs are byte-identical at
+	// any setting, so aggregation stays worker-count- and
+	// parallelism-invariant.
+	Parallelism int
 }
 
 // CellResult pairs a cell with its simulation outcome.
@@ -49,9 +57,17 @@ type CellResult struct {
 	Err    error
 }
 
-// RunCell executes a single cell synchronously.
-func RunCell(c Cell) CellResult {
-	out := CellResult{Cell: c}
+// RunCell executes a single cell synchronously. A panic in the cell's
+// Build/Run hook (or anywhere downstream in its simulation) is recovered
+// into CellResult.Err — value and stack preserved — so one poisoned cell
+// fails in place instead of killing a whole sweep's process.
+func RunCell(c Cell) (out CellResult) {
+	out = CellResult{Cell: c}
+	defer func() {
+		if r := recover(); r != nil {
+			out.Err = fmt.Errorf("sweep: cell panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
 	if c.Run != nil {
 		out.Result, out.Err = c.Run()
 		return out
@@ -64,6 +80,9 @@ func RunCell(c Cell) CellResult {
 	if err != nil {
 		out.Err = err
 		return out
+	}
+	if c.Parallelism > 0 {
+		cfg.Parallelism = c.Parallelism
 	}
 	n, err := pcn.NewNetwork(g, cfg)
 	if err != nil {

@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/splicer-pcn/splicer/internal/graph"
@@ -164,5 +165,75 @@ func TestErrorPropagation(t *testing.T) {
 	}
 	if RunCell(Cell{}).Err == nil {
 		t.Fatal("RunCell accepted a cell without Build")
+	}
+}
+
+// TestPoisonedCellDoesNotKillSweep pins the panic-recovery contract: one
+// cell whose hook panics fails in place — panic value and stack captured in
+// its CellResult.Err — while the other 99 cells of the sweep complete
+// normally on a parallel pool.
+func TestPoisonedCellDoesNotKillSweep(t *testing.T) {
+	const total, poisoned = 100, 41
+	cells := make([]Cell, total)
+	for i := range cells {
+		i := i
+		if i == poisoned {
+			cells[i] = Cell{Scheme: pcn.SchemeSplicer, Seed: uint64(i), Axis: "poison", X: 1,
+				Run: func() (pcn.Result, error) { panic("poisoned cell") }}
+			continue
+		}
+		cells[i] = Cell{Scheme: pcn.SchemeSplicer, Seed: uint64(i), Axis: "poison", X: 0,
+			Run: func() (pcn.Result, error) { return pcn.Result{Generated: i}, nil }}
+	}
+	results := Run(cells, 4)
+	for i, r := range results {
+		if i == poisoned {
+			if r.Err == nil {
+				t.Fatal("poisoned cell reported no error")
+			}
+			msg := r.Err.Error()
+			if !strings.Contains(msg, "poisoned cell") {
+				t.Fatalf("panic value lost: %v", r.Err)
+			}
+			if !strings.Contains(msg, "sweep_test.go") {
+				t.Fatalf("panic stack lost: %v", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("healthy cell %d failed: %v", i, r.Err)
+		}
+		if r.Result.Generated != i {
+			t.Fatalf("cell %d result scrambled: %+v", i, r.Result)
+		}
+	}
+	if err := FirstErr(results); err == nil || !strings.Contains(err.Error(), "poisoned cell") {
+		t.Fatalf("FirstErr missed the poisoned cell: %v", err)
+	}
+}
+
+// TestBuildPanicRecovered covers the Build-path panic (NewNetwork and the
+// simulation itself run under the same recover).
+func TestBuildPanicRecovered(t *testing.T) {
+	r := RunCell(Cell{Scheme: pcn.SchemeSplicer, Seed: 1, Axis: "poison", X: 1,
+		Build: func() (*graph.Graph, []workload.Tx, pcn.Config, error) { panic(fmt.Errorf("bad build")) }})
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "bad build") {
+		t.Fatalf("Build panic not recovered into Err: %v", r.Err)
+	}
+}
+
+// TestCellParallelismIsOutputInvariant pins the per-cell Parallelism knob:
+// the same cell with speculative planning workers produces a byte-identical
+// result to the serial build.
+func TestCellParallelismIsOutputInvariant(t *testing.T) {
+	serial := RunCell(testCell(pcn.SchemeSplicer, 3, 1))
+	par := testCell(pcn.SchemeSplicer, 3, 1)
+	par.Parallelism = 4
+	parallel := RunCell(par)
+	if serial.Err != nil || parallel.Err != nil {
+		t.Fatalf("cell errors: %v / %v", serial.Err, parallel.Err)
+	}
+	if fmt.Sprintf("%+v", serial.Result) != fmt.Sprintf("%+v", parallel.Result) {
+		t.Fatalf("parallel cell diverged:\nserial:   %+v\nparallel: %+v", serial.Result, parallel.Result)
 	}
 }
